@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces the paper's L2 dynamic-energy comparison (the energy
+ * section following 5.4.1; the abstract's headline: NuRAPID consumes
+ * 77% less L2 dynamic energy than D-NUCA, with 61% fewer d-group
+ * accesses). D-NUCA uses its energy-optimal ss-energy policy here, as
+ * the paper does for energy numbers.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace nurapid;
+
+int
+main()
+{
+    benchHeader("Figure 10 (energy): L2 dynamic energy per demand "
+                "access; data-array access counts",
+                "paper: NuRAPID uses 77% less L2 dynamic energy than "
+                "D-NUCA and performs 61% fewer d-group accesses");
+
+    const auto suite = workloadSuite();
+    auto base = runSuite(OrgSpec::baseline(), suite);
+    auto den = runSuite(OrgSpec::dnucaSsEnergy(), suite);
+    auto dperf = runSuite(OrgSpec::dnucaSsPerformance(), suite);
+    auto nr = runSuite(OrgSpec::nurapidDefault(), suite);
+
+    TextTable t;
+    t.header({"Benchmark", "base nJ/acc", "D-NUCA ss-perf",
+              "D-NUCA ss-energy", "NuRAPID", "NuRAPID/ss-energy"});
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        auto per = [](const RunMetrics &m) {
+            return m.l2_demand ? m.energy.l2_cache_nj / m.l2_demand : 0.0;
+        };
+        t.row({suite[i].name, TextTable::num(per(base[i])),
+               TextTable::num(per(dperf[i])),
+               TextTable::num(per(den[i])), TextTable::num(per(nr[i])),
+               TextTable::pct(per(nr[i]) / per(den[i]))});
+    }
+    t.print();
+
+    const double e_nr = meanL2EnergyPerAccess(nr);
+    const double e_den = meanL2EnergyPerAccess(den);
+    const double e_dperf = meanL2EnergyPerAccess(dperf);
+    std::printf("\nAverage L2 dynamic energy per access: base %.2f, "
+                "D-NUCA ss-perf %.2f, D-NUCA ss-energy %.2f, NuRAPID "
+                "%.2f nJ\n", meanL2EnergyPerAccess(base), e_dperf,
+                e_den, e_nr);
+    std::printf("NuRAPID saves %.0f%% vs ss-energy and %.0f%% vs "
+                "ss-performance (paper: 77%% vs the D-NUCA "
+                "comparison point)\n",
+                100.0 * (1.0 - e_nr / e_den),
+                100.0 * (1.0 - e_nr / e_dperf));
+
+    double nr_acc = 0, dn_acc = 0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        nr_acc += static_cast<double>(nr[i].data_array_accesses);
+        dn_acc += static_cast<double>(den[i].data_array_accesses);
+    }
+    std::printf("Data-array (d-group/bank) accesses: NuRAPID performs "
+                "%.0f%% fewer than D-NUCA (paper: 61%% fewer)\n",
+                100.0 * (1.0 - nr_acc / dn_acc));
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Figure 6: performance of the NuRAPID promotion policies
+ * relative to the base L2/L3 hierarchy, plus the ideal (constant
+ * fastest-d-group latency) bound.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace nurapid;
+
+int
+main()
+{
+    benchHeader("Figure 6: performance of NuRAPID policies vs base "
+                "L2/L3",
+                "paper averages: demotion-only -0.3%, next-fastest "
+                "+5.9%, fastest +5.6%, ideal +7.9%; high-load gains "
+                "exceed low-load");
+
+    const auto suite = workloadSuite();
+    auto base = runSuite(OrgSpec::baseline(), suite);
+    auto demo = runSuite(
+        OrgSpec::nurapidDefault(4, PromotionPolicy::DemotionOnly), suite);
+    auto next = runSuite(OrgSpec::nurapidDefault(), suite);
+    auto fast = runSuite(
+        OrgSpec::nurapidDefault(4, PromotionPolicy::Fastest), suite);
+    auto ideal = runSuite(OrgSpec::nurapidIdeal(), suite);
+
+    TextTable t;
+    t.header({"Benchmark", "class", "demotion-only", "next-fastest",
+              "fastest", "ideal"});
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        t.row({suite[i].name,
+               suite[i].high_load ? "high" : "low",
+               TextTable::num(demo[i].ipc / base[i].ipc, 3),
+               TextTable::num(next[i].ipc / base[i].ipc, 3),
+               TextTable::num(fast[i].ipc / base[i].ipc, 3),
+               TextTable::num(ideal[i].ipc / base[i].ipc, 3)});
+    }
+    t.print();
+
+    auto split = [&](const std::vector<RunMetrics> &runs, bool high) {
+        std::vector<RunMetrics> r, b;
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            if (suite[i].high_load == high) {
+                r.push_back(runs[i]);
+                b.push_back(base[i]);
+            }
+        }
+        return geomeanRatio(r, b);
+    };
+
+    std::printf("\nGeometric-mean relative performance (base = 1.000):\n");
+    TextTable s;
+    s.header({"Policy", "overall", "high-load", "low-load", "paper"});
+    s.row({"demotion-only", TextTable::num(geomeanRatio(demo, base), 3),
+           TextTable::num(split(demo, true), 3),
+           TextTable::num(split(demo, false), 3), "0.997 overall"});
+    s.row({"next-fastest", TextTable::num(geomeanRatio(next, base), 3),
+           TextTable::num(split(next, true), 3),
+           TextTable::num(split(next, false), 3),
+           "1.059 (high 1.069, low 1.017)"});
+    s.row({"fastest", TextTable::num(geomeanRatio(fast, base), 3),
+           TextTable::num(split(fast, true), 3),
+           TextTable::num(split(fast, false), 3),
+           "1.056 (high 1.066, low 1.013)"});
+    s.row({"ideal", TextTable::num(geomeanRatio(ideal, base), 3),
+           TextTable::num(split(ideal, true), 3),
+           TextTable::num(split(ideal, false), 3), "1.079 overall"});
+    s.print();
+    return 0;
+}

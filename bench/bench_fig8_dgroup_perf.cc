@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces Figure 8: performance of 2/4/8-d-group NuRAPIDs relative
+ * to the base hierarchy.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace nurapid;
+
+int
+main()
+{
+    benchHeader("Figure 8: performance of 2, 4 and 8-d-group NuRAPIDs",
+                "paper averages vs base: 2dg +0.5%, 4dg +5.9%, 8dg "
+                "+6.1% — the 2dg's 4 MB d-group latency eats its "
+                "capacity advantage; 8dg buys little over 4dg");
+
+    const auto suite = workloadSuite();
+    auto base = runSuite(OrgSpec::baseline(), suite);
+    auto n2 = runSuite(OrgSpec::nurapidDefault(2), suite);
+    auto n4 = runSuite(OrgSpec::nurapidDefault(4), suite);
+    auto n8 = runSuite(OrgSpec::nurapidDefault(8), suite);
+
+    TextTable t;
+    t.header({"Benchmark", "class", "2 d-groups", "4 d-groups",
+              "8 d-groups"});
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        t.row({suite[i].name, suite[i].high_load ? "high" : "low",
+               TextTable::num(n2[i].ipc / base[i].ipc, 3),
+               TextTable::num(n4[i].ipc / base[i].ipc, 3),
+               TextTable::num(n8[i].ipc / base[i].ipc, 3)});
+    }
+    t.print();
+
+    std::printf("\nGeometric means vs base: 2dg %.3f, 4dg %.3f, 8dg "
+                "%.3f (paper: 1.005 / 1.059 / 1.061)\n",
+                geomeanRatio(n2, base), geomeanRatio(n4, base),
+                geomeanRatio(n8, base));
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Figure 9: performance of D-NUCA (ss-performance, with its
+ * idealized infinite-bandwidth switched network) against the one-ported
+ * non-banked 4- and 8-d-group NuRAPIDs.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_util.hh"
+
+using namespace nurapid;
+
+int
+main()
+{
+    benchHeader("Figure 9: D-NUCA (ss-performance) vs 4/8-d-group "
+                "NuRAPID, relative to base",
+                "paper averages vs base: D-NUCA +2.9%, NuRAPID-4 "
+                "+5.9%, NuRAPID-8 +6.0%; NuRAPID beats D-NUCA by "
+                "~2.9-3.0% on average and up to 15%");
+
+    const auto suite = workloadSuite();
+    auto base = runSuite(OrgSpec::baseline(), suite);
+    auto dn = runSuite(OrgSpec::dnucaSsPerformance(), suite);
+    auto n4 = runSuite(OrgSpec::nurapidDefault(4), suite);
+    auto n8 = runSuite(OrgSpec::nurapidDefault(8), suite);
+
+    TextTable t;
+    t.header({"Benchmark", "class", "D-NUCA", "NuRAPID-4", "NuRAPID-8",
+              "NuRAPID-4 / D-NUCA"});
+    double best_gain = 0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const double vs = n4[i].ipc / dn[i].ipc;
+        best_gain = std::max(best_gain, vs - 1.0);
+        t.row({suite[i].name, suite[i].high_load ? "high" : "low",
+               TextTable::num(dn[i].ipc / base[i].ipc, 3),
+               TextTable::num(n4[i].ipc / base[i].ipc, 3),
+               TextTable::num(n8[i].ipc / base[i].ipc, 3),
+               TextTable::num(vs, 3)});
+    }
+    t.print();
+
+    std::printf("\nGeometric means vs base: D-NUCA %.3f, NuRAPID-4 "
+                "%.3f, NuRAPID-8 %.3f (paper: 1.029 / 1.059 / 1.060)\n",
+                geomeanRatio(dn, base), geomeanRatio(n4, base),
+                geomeanRatio(n8, base));
+    std::printf("NuRAPID-4 over D-NUCA: %.1f%% average, up to %.1f%% "
+                "(paper: 2.9%% average, up to 15%%)\n",
+                100.0 * (geomeanRatio(n4, dn) - 1.0), 100.0 * best_gain);
+
+    // Swap-traffic comparison that drives the bandwidth argument.
+    double nr_moves = 0, dn_moves = 0, accesses = 0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        nr_moves += static_cast<double>(n4[i].block_moves);
+        dn_moves += static_cast<double>(dn[i].block_moves);
+        accesses += static_cast<double>(n4[i].l2_demand);
+    }
+    std::printf("Block moves per demand access: NuRAPID-4 %.3f vs "
+                "D-NUCA %.3f (%.1fx fewer swaps)\n",
+                nr_moves / accesses, dn_moves / accesses,
+                nr_moves > 0 ? dn_moves / nr_moves : 0.0);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: raw simulation throughput of each
+ * lower-level cache organization (accesses simulated per second).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mem/conventional_l2l3.hh"
+#include "nuca/dnuca.hh"
+#include "nurapid/coupled_nuca.hh"
+#include "nurapid/nurapid_cache.hh"
+#include "timing/geometry.hh"
+
+namespace nurapid {
+namespace {
+
+const SramMacroModel &
+model()
+{
+    static SramMacroModel m(TechParams::the70nm());
+    return m;
+}
+
+template <typename Cache>
+void
+driveCache(benchmark::State &state, Cache &cache)
+{
+    Rng rng(42);
+    Cycle now = 0;
+    for (auto _ : state) {
+        now += 20;
+        const Addr a = rng.below64(16ull << 20) & ~Addr{127};
+        auto r = cache.access(a, rng.chance(0.3) ? AccessType::Write
+                                                 : AccessType::Read,
+                              now);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_NuRapidAccess(benchmark::State &state)
+{
+    NuRapidCache::Params p;
+    p.num_dgroups = static_cast<std::uint32_t>(state.range(0));
+    NuRapidCache cache(model(), p);
+    driveCache(state, cache);
+}
+BENCHMARK(BM_NuRapidAccess)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_DNucaAccess(benchmark::State &state)
+{
+    DNucaCache::Params p;
+    p.search = state.range(0) == 0 ? DNucaSearch::SsPerformance
+                                   : DNucaSearch::SsEnergy;
+    DNucaCache cache(model(), p);
+    driveCache(state, cache);
+}
+BENCHMARK(BM_DNucaAccess)->Arg(0)->Arg(1);
+
+void
+BM_ConventionalAccess(benchmark::State &state)
+{
+    ConventionalL2L3 cache(model());
+    driveCache(state, cache);
+}
+BENCHMARK(BM_ConventionalAccess);
+
+void
+BM_CoupledSAAccess(benchmark::State &state)
+{
+    CoupledNucaCache::Params p;
+    CoupledNucaCache cache(model(), p);
+    driveCache(state, cache);
+}
+BENCHMARK(BM_CoupledSAAccess);
+
+} // namespace
+} // namespace nurapid
+
+BENCHMARK_MAIN();

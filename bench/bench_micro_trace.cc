@@ -1,0 +1,50 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: synthetic trace-generation and
+ * branch-predictor throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/branch_predictor.hh"
+#include "trace/profiles.hh"
+#include "trace/synthetic.hh"
+
+namespace nurapid {
+namespace {
+
+void
+BM_SyntheticTrace(benchmark::State &state)
+{
+    const auto &suite = workloadSuite();
+    const auto &profile = suite[state.range(0) % suite.size()];
+    SyntheticTrace trace(profile);
+    TraceRecord r;
+    for (auto _ : state) {
+        trace.next(r);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(profile.name);
+}
+BENCHMARK(BM_SyntheticTrace)->Arg(0)->Arg(6)->Arg(14);
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    BranchPredictor bp;
+    std::uint32_t pc = 0x400000;
+    bool taken = false;
+    for (auto _ : state) {
+        taken = !taken || (pc & 0x10);
+        pc = 0x400000 + ((pc * 29) & 0x3ff);
+        benchmark::DoNotOptimize(bp.predictAndUpdate(pc, taken));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+} // namespace
+} // namespace nurapid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Table 1: the simulated system parameters — printed from
+ * the actual configuration objects so the table cannot drift from the
+ * code.
+ */
+
+#include "bench/bench_util.hh"
+#include "mem/conventional_l2l3.hh"
+
+using namespace nurapid;
+
+int
+main()
+{
+    benchHeader("Table 1: system parameters",
+                "Chishti et al., MICRO-36 2003, Table 1");
+
+    const CoreParams core = defaultCoreParams();
+    const CacheOrg l1i = l1iOrg();
+    const CacheOrg l1d = l1dOrg();
+    const ConventionalL2L3::Params base{};
+    const MainMemory mem;
+
+    TextTable t;
+    t.header({"Parameter", "Value"});
+    t.row({"Issue width", std::to_string(core.issue_width)});
+    t.row({"RUU", strprintf("%u entries", core.ruu_entries)});
+    t.row({"LSQ size", strprintf("%u entries", core.lsq_entries)});
+    t.row({"L1 i-cache",
+           strprintf("%lluK, %u-way, %u byte blocks, %u cycle hit, "
+                     "1 port, pipelined",
+                     static_cast<unsigned long long>(
+                         l1i.capacity_bytes / 1024),
+                     l1i.assoc, l1i.block_bytes, core.l1_latency)});
+    t.row({"L1 d-cache",
+           strprintf("%lluK, %u-way, %u byte blocks, %u cycle hit, "
+                     "1 port, pipelined, %u MSHRs",
+                     static_cast<unsigned long long>(
+                         l1d.capacity_bytes / 1024),
+                     l1d.assoc, l1d.block_bytes, core.l1_latency,
+                     core.mshrs)});
+    t.row({"Base L2",
+           strprintf("%llu MB, %u-way, %u B blocks, %u cycles",
+                     static_cast<unsigned long long>(
+                         base.l2.capacity_bytes >> 20),
+                     base.l2.assoc, base.l2.block_bytes,
+                     base.l2_latency)});
+    t.row({"Base L3",
+           strprintf("%llu MB, %u-way, %u B blocks, %u cycles",
+                     static_cast<unsigned long long>(
+                         base.l3.capacity_bytes >> 20),
+                     base.l3.assoc, base.l3.block_bytes,
+                     base.l3_latency)});
+    t.row({"Memory latency",
+           strprintf("130 cycles + 4 cycles per 8 bytes "
+                     "(128 B block: %u cycles)", mem.latency(128))});
+    t.row({"Branch predictor", "2-level, hybrid, 8K entries"});
+    t.row({"Mispredict penalty",
+           strprintf("%u cycles", core.mispredict_penalty)});
+    t.print();
+
+    std::printf("\nEvaluated organizations (Section 4): 8 MB 16-way "
+                "D-NUCA (128 x 64 KB banks, 8 bank-d-groups per set, "
+                "7-bit sm-search) and 8 MB 8-way NuRAPID (L-shaped "
+                "floorplan, 1 port, non-banked).\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Table 2: "Example cache energies in nJ".
+ */
+
+#include "bench/bench_util.hh"
+#include "timing/latency_tables.hh"
+
+using namespace nurapid;
+
+int
+main()
+{
+    benchHeader("Table 2: example cache energies (nJ)",
+                "Chishti et al., MICRO-36 2003, Table 2");
+
+    SramMacroModel model(TechParams::the70nm());
+    constexpr std::uint64_t MB = 1024 * 1024;
+
+    auto nr4 = makeNuRapidTiming(model, 8 * MB, 4, 8, 128);
+    auto nr8 = makeNuRapidTiming(model, 8 * MB, 8, 8, 128);
+    auto dn = makeDNucaTiming(model, 8 * MB, 8, 16, 128);
+    auto l1 = makeUniformTiming(model, 64 * 1024, 2, 32,
+                                /*sequential=*/false, /*ports=*/2, 3);
+
+    double dn_closest = 1e9, dn_farthest = 0;
+    for (unsigned c = 0; c < dn.cols; ++c) {
+        dn_closest = std::min(dn_closest, dn.bank(0, c).access_nj);
+        dn_farthest =
+            std::max(dn_farthest, dn.bank(dn.rows - 1, c).access_nj);
+    }
+
+    TextTable t;
+    t.header({"Operation", "paper nJ", "ours nJ"});
+    t.row({"Tag + access: closest of 4, 2-MB d-groups", "0.42",
+           TextTable::num(nr4.dgroups.front().read_nj)});
+    t.row({"Tag + access: farthest of 4, 2-MB d-groups (incl routing)",
+           "3.3", TextTable::num(nr4.dgroups.back().read_nj)});
+    t.row({"Tag + access: closest of 8, 1-MB d-groups", "0.4",
+           TextTable::num(nr8.dgroups.front().read_nj)});
+    t.row({"Tag + access: farthest of 8, 1-MB d-groups (incl routing)",
+           "4.6", TextTable::num(nr8.dgroups.back().read_nj)});
+    t.row({"Tag + access: closest 64-KB NUCA d-group", "0.18",
+           TextTable::num(dn_closest)});
+    t.row({"Tag + access: farthest 64-KB NUCA d-group (incl routing)",
+           "~1.9", TextTable::num(dn_farthest)});
+    t.row({"Access 7-bit-per-entry 16-way NUCA sm-search array", "0.19",
+           TextTable::num(dn.ss_access_nj)});
+    t.row({"Tag + access: 2 ports of low-latency 64-KB 2-way L1", "0.57",
+           TextTable::num(l1.read_nj)});
+    t.print();
+
+    std::printf("\nSwap energies (not in Table 2, used by Figure 10):\n");
+    TextTable s;
+    s.header({"Block move", "nJ"});
+    for (unsigned g = 0; g + 1 < 4; ++g) {
+        s.row({strprintf("NuRAPID 4-d-group: d-group %u -> %u", g, g + 1),
+               TextTable::num(nr4.swapEnergy(g, g + 1))});
+    }
+    s.row({"D-NUCA bubble swap (rows 0<->1, center column)",
+           TextTable::num(dn.swapEnergy(0, 1, 8))});
+    s.print();
+    return 0;
+}

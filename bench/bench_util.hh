@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries.
+ *
+ * Every bench prints: the paper artifact it regenerates, the workload
+ * suite and simulation length used, the reproduced rows/series, and a
+ * short paper-vs-measured summary. Absolute numbers come from our
+ * substrate (synthetic workloads + analytic timing model); the *shape*
+ * is the reproduction target (see EXPERIMENTS.md).
+ */
+
+#ifndef NURAPID_BENCH_BENCH_UTIL_HH
+#define NURAPID_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+#include "trace/profiles.hh"
+
+namespace nurapid {
+
+inline void
+benchHeader(const std::string &title, const std::string &paper_note)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Paper reference: %s\n", paper_note.c_str());
+    const SimLength len = SimLength::fromEnv();
+    std::printf("Simulation: %llu warmup + %llu measured references per "
+                "run (NURAPID_SIM_SCALE to rescale)\n",
+                static_cast<unsigned long long>(len.warmup_records),
+                static_cast<unsigned long long>(len.measure_records));
+    std::printf("==============================================================\n");
+}
+
+/** Geometric-mean of per-benchmark ratios vs a base suite. */
+inline double
+geomeanRatio(const std::vector<RunMetrics> &runs,
+             const std::vector<RunMetrics> &base)
+{
+    return meanRelativePerformance(runs, base);
+}
+
+/** Arithmetic mean of one region fraction over a suite. */
+inline double
+meanRegionFrac(const std::vector<RunMetrics> &runs, std::size_t region)
+{
+    if (runs.empty())
+        return 0.0;
+    double sum = 0;
+    for (const auto &r : runs)
+        sum += region < r.region_frac.size() ? r.region_frac[region] : 0.0;
+    return sum / runs.size();
+}
+
+inline double
+meanMissFrac(const std::vector<RunMetrics> &runs)
+{
+    if (runs.empty())
+        return 0.0;
+    double sum = 0;
+    for (const auto &r : runs)
+        sum += r.miss_frac;
+    return sum / runs.size();
+}
+
+/** Mean nJ of L2 energy per demand access over a suite. */
+inline double
+meanL2EnergyPerAccess(const std::vector<RunMetrics> &runs)
+{
+    double sum = 0;
+    for (const auto &r : runs)
+        sum += r.l2_demand ? r.energy.l2_cache_nj / r.l2_demand : 0.0;
+    return runs.empty() ? 0.0 : sum / runs.size();
+}
+
+} // namespace nurapid
+
+#endif // NURAPID_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Floorplan report: a tour of the physical model behind every latency
+ * and energy number — SRAM-macro access curves, the L-shaped NuRAPID
+ * floorplan, and the D-NUCA bank grid (Figures 3a/3b of the paper).
+ *
+ * Run: ./build/examples/floorplan_report
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "timing/floorplan.hh"
+#include "timing/latency_tables.hh"
+
+using namespace nurapid;
+
+int
+main()
+{
+    const TechParams &tech = TechParams::the70nm();
+    SramMacroModel model(tech);
+    constexpr std::uint64_t KB = 1024;
+    constexpr std::uint64_t MB = 1024 * 1024;
+
+    std::printf("Technology: %.0f GHz clock (%.2f ns), %.1f mm^2/MB "
+                "SRAM, %.2f ns/mm wire (one-way)\n\n",
+                1.0 / tech.cycle_ns, tech.cycle_ns, tech.mm2_per_mb,
+                tech.wire_ns_per_mm);
+
+    std::printf("SRAM-macro access curves (Cacti-like anchors):\n");
+    TextTable m;
+    m.header({"capacity", "access (ns)", "cycles", "read (nJ)",
+              "area (mm^2)"});
+    for (std::uint64_t cap : {64 * KB, 256 * KB, 1 * MB, 2 * MB, 4 * MB,
+                              8 * MB}) {
+        m.row({cap >= MB ? strprintf("%llu MB",
+                                     (unsigned long long)(cap / MB))
+                         : strprintf("%llu KB",
+                                     (unsigned long long)(cap / KB)),
+               TextTable::num(model.dataAccessNs(cap)),
+               std::to_string(tech.toCycles(model.dataAccessNs(cap))),
+               TextTable::num(model.dataReadNJ(cap), 3),
+               TextTable::num(model.areaMm2(cap), 1)});
+    }
+    m.print();
+
+    std::printf("\nNuRAPID L-shaped floorplan (Figure 3b), 4 x 2 MB "
+                "d-groups:\n");
+    auto nr = makeNuRapidTiming(model, 8 * MB, 4, 8, 128);
+    TextTable f;
+    f.header({"d-group", "route (mm)", "wire RT (cy)", "array (cy)",
+              "tag (cy)", "total (cy)"});
+    for (std::size_t g = 0; g < nr.numDGroups(); ++g) {
+        const auto &d = nr.dgroups[g];
+        f.row({std::to_string(g), TextTable::num(d.route_mm, 1),
+               std::to_string(d.data_latency - d.array_latency),
+               std::to_string(d.array_latency),
+               std::to_string(nr.tag_latency),
+               std::to_string(d.total_latency)});
+    }
+    f.print();
+
+    std::printf("\nD-NUCA 16x8 bank grid (Figure 3a), latency per bank "
+                "(cycles; core below the middle of row 0):\n");
+    auto dn = makeDNucaTiming(model, 8 * MB, 8, 16, 128);
+    for (unsigned r = 0; r < dn.rows; ++r) {
+        std::printf("  row %u: ", r);
+        for (unsigned c = 0; c < dn.cols; ++c)
+            std::printf("%3u", dn.bank(r, c).latency);
+        std::printf("   avg %.1f\n", dn.avgLatencyOfMB(r));
+    }
+
+    std::printf("\nBlock-transfer wire energy is superlinear in route "
+                "distance (E = %.3f * d^%.1f nJ): 1 mm -> %.2f nJ, "
+                "10 mm -> %.2f nJ.\n",
+                tech.wire_block_nj_coeff, tech.wire_energy_exponent,
+                tech.wireBlockNJ(1.0), tech.wireBlockNJ(10.0));
+    return 0;
+}

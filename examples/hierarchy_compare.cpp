@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Hierarchy comparison: run one workload through all four lower-level
+ * organizations (base L2/L3, D-NUCA, set-associative placement,
+ * NuRAPID) on the full simulated system and compare IPC, hit
+ * distribution and energy — the whole-paper experiment in miniature.
+ *
+ * Run: ./build/examples/hierarchy_compare [benchmark] (default: applu)
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace nurapid;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "applu";
+    const WorkloadProfile &profile = findProfile(name);
+
+    std::printf("Workload '%s' (%s, %s; paper base IPC %.1f, "
+                "%.0f L2 accesses/kinst)\n\n",
+                profile.name.c_str(), profile.fp ? "FP" : "Int",
+                profile.high_load ? "high-load" : "low-load",
+                profile.table3_ipc, profile.table3_l2_apki);
+
+    struct Entry
+    {
+        const char *label;
+        OrgSpec spec;
+    };
+    const Entry entries[] = {
+        {"base L2/L3", OrgSpec::baseline()},
+        {"D-NUCA ss-performance", OrgSpec::dnucaSsPerformance()},
+        {"D-NUCA ss-energy", OrgSpec::dnucaSsEnergy()},
+        {"SA-placement NUCA", OrgSpec::coupledSA()},
+        {"NuRAPID 4 d-groups", OrgSpec::nurapidDefault()},
+        {"NuRAPID ideal bound", OrgSpec::nurapidIdeal()},
+    };
+
+    TextTable t;
+    t.header({"Organization", "IPC", "rel.", "fast-region hits",
+              "miss", "L2 nJ/access", "EDP rel."});
+    double base_ipc = 0, base_edp = 0;
+    for (const Entry &e : entries) {
+        auto m = runOne(e.spec, profile);
+        if (base_ipc == 0) {
+            base_ipc = m.ipc;
+            base_edp = m.energy.edp;
+        }
+        t.row({e.label, TextTable::num(m.ipc, 3),
+               TextTable::num(m.ipc / base_ipc, 3),
+               TextTable::pct(m.region_frac.empty() ? 0
+                                                    : m.region_frac[0]),
+               TextTable::pct(m.miss_frac),
+               TextTable::num(m.l2_demand
+                                  ? m.energy.l2_cache_nj / m.l2_demand
+                                  : 0),
+               TextTable::num(m.energy.edp / base_edp, 3)});
+    }
+    t.print();
+
+    std::printf("\n'fast-region hits' is the fraction of demand "
+                "accesses served by the fastest region (d-group 0, "
+                "bank row 0, or the L2 for the base case).\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Hot-set explorer: the paper's motivating scenario (Section 2.1)
+ * made concrete. A "hot set" receives many more live blocks than a
+ * coupled design can keep fast. We hammer one set of
+ *   (a) the set-associative-placement NUCA, and
+ *   (b) NuRAPID,
+ * and watch where the hits land and what that costs in cycles.
+ *
+ * Run: ./build/examples/hot_set_explorer [hot_blocks]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "nurapid/coupled_nuca.hh"
+#include "nurapid/nurapid_cache.hh"
+#include "timing/geometry.hh"
+
+using namespace nurapid;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint32_t hot_blocks =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+
+    SramMacroModel model(TechParams::the70nm());
+
+    NuRapidCache::Params np;  // 8 MB, 8-way, 4 d-groups
+    CoupledNucaCache::Params cp;
+    fatal_if(hot_blocks > np.assoc,
+             "at most %u blocks can coexist in one 8-way set", np.assoc);
+
+    NuRapidCache nurapid(model, np);
+    CoupledNucaCache coupled(model, cp);
+
+    const Addr stride = np.capacity_bytes / np.assoc;  // same set
+    Cycle now = 0;
+
+    // Warm both caches: the hot set's blocks all become resident.
+    for (int round = 0; round < 4; ++round)
+        for (std::uint32_t b = 0; b < hot_blocks; ++b) {
+            const Addr a = b * stride;
+            nurapid.access(a, AccessType::Read, now);
+            coupled.access(a, AccessType::Read, now);
+            now += 10000;
+        }
+    nurapid.resetStats();
+    coupled.resetStats();
+
+    // Measure: round-robin over the hot blocks.
+    std::uint64_t nurapid_cycles = 0, coupled_cycles = 0;
+    const int rounds = 1000;
+    for (int round = 0; round < rounds; ++round) {
+        for (std::uint32_t b = 0; b < hot_blocks; ++b) {
+            const Addr a = b * stride;
+            nurapid_cycles +=
+                nurapid.access(a, AccessType::Read, now).latency;
+            coupled_cycles +=
+                coupled.access(a, AccessType::Read, now).latency;
+            now += 10000;
+        }
+    }
+    const double n_accesses = double(rounds) * hot_blocks;
+
+    std::printf("Hot set with %u live blocks, %u-way cache over %u "
+                "d-groups (%u ways per d-group when coupled)\n\n",
+                hot_blocks, np.assoc, np.num_dgroups,
+                cp.assoc / cp.num_dgroups);
+
+    TextTable t;
+    t.header({"Design", "avg hit latency (cy)", "hits in d-group 0",
+              "swaps/access"});
+    auto row = [&](const char *name, LowerMemory &c, double cycles) {
+        const auto &s = c.stats();
+        const double hits = double(s.counterValue("hits"));
+        t.row({name, TextTable::num(cycles / n_accesses, 1),
+               TextTable::pct(c.regionHits().count(0) / hits),
+               TextTable::num(double(s.counterValue("block_moves")) /
+                                  n_accesses, 3)});
+    };
+    row("set-associative placement", coupled, double(coupled_cycles));
+    row("NuRAPID (distance assoc.)", nurapid, double(nurapid_cycles));
+    t.print();
+
+    std::printf("\nWith more hot blocks than the coupled design's "
+                "per-d-group ways, NuRAPID keeps every one of them in "
+                "the fastest d-group while the coupled cache thrashes "
+                "them through swap after swap.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Policy playground: sweep NuRAPID's three policy axes — promotion
+ * policy, distance-replacement selection, and d-group count — on one
+ * workload, and print the resulting placement quality and performance.
+ * A compact version of Sections 5.2-5.3.
+ *
+ * Run: ./build/examples/policy_playground [benchmark] (default: swim)
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace nurapid;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "swim";
+    const WorkloadProfile &profile = findProfile(name);
+    auto base = runOne(OrgSpec::baseline(), profile);
+
+    std::printf("Workload '%s'; base IPC %.3f\n\n", profile.name.c_str(),
+                base.ipc);
+
+    TextTable t;
+    t.header({"d-groups", "promotion", "distance repl", "g0 hits",
+              "promotions/kacc", "demotions/kacc", "IPC vs base"});
+
+    for (std::uint32_t ndg : {2u, 4u, 8u}) {
+        for (auto promo : {PromotionPolicy::DemotionOnly,
+                           PromotionPolicy::NextFastest,
+                           PromotionPolicy::Fastest}) {
+            for (auto drepl : {DistanceRepl::Random, DistanceRepl::LRU}) {
+                auto m = runOne(OrgSpec::nurapidDefault(ndg, promo,
+                                                        drepl),
+                                profile);
+                const double kacc = m.l2_demand / 1000.0;
+                t.row({std::to_string(ndg), promotionPolicyName(promo),
+                       distanceReplName(drepl),
+                       TextTable::pct(m.region_frac[0]),
+                       TextTable::num(kacc ? m.promotions / kacc : 0, 1),
+                       TextTable::num(kacc ? m.demotions / kacc : 0, 1),
+                       TextTable::num(m.ipc / base.ipc, 3)});
+            }
+        }
+    }
+    t.print();
+
+    std::printf("\nThings to look for (Sections 5.2-5.3): demotion-only "
+                "strands hot blocks in slow d-groups; next-fastest and "
+                "fastest recover them; random distance replacement "
+                "only hurts when nothing re-promotes its mistakes; two "
+                "big d-groups trade placement quality for a slower "
+                "fastest d-group; eight small ones swap far more.\n");
+    return 0;
+}

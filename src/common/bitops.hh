@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the cache-indexing code.
+ */
+
+#ifndef NURAPID_COMMON_BITOPS_HH
+#define NURAPID_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace nurapid {
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Number of bits needed to enumerate @p n distinct values. */
+constexpr unsigned
+bitsFor(std::uint64_t n)
+{
+    return n <= 1 ? 0 : ceilLog2(n);
+}
+
+/** Extracts bits [first, last] (inclusive, last >= first) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned last, unsigned first)
+{
+    const unsigned nbits = last - first + 1;
+    const std::uint64_t mask =
+        nbits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << nbits) - 1);
+    return (v >> first) & mask;
+}
+
+/** Rounds @p v up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Block address (strips the offset bits) for a given block size. */
+constexpr Addr
+blockAlign(Addr addr, unsigned block_bytes)
+{
+    return addr & ~static_cast<Addr>(block_bytes - 1);
+}
+
+} // namespace nurapid
+
+#endif // NURAPID_COMMON_BITOPS_HH

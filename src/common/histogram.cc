@@ -1,0 +1,80 @@
+#include "common/histogram.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace nurapid {
+
+void
+Histogram::resize(std::size_t buckets)
+{
+    counts.assign(buckets, 0);
+    totalCount = 0;
+    clampedCount = 0;
+}
+
+void
+Histogram::sample(std::size_t bucket, std::uint64_t weight)
+{
+    panic_if(counts.empty(), "sampling an unsized histogram");
+    if (bucket >= counts.size()) {
+        bucket = counts.size() - 1;
+        clampedCount += weight;
+    }
+    counts[bucket] += weight;
+    totalCount += weight;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts)
+        c = 0;
+    totalCount = 0;
+    clampedCount = 0;
+}
+
+std::uint64_t
+Histogram::count(std::size_t bucket) const
+{
+    panic_if(bucket >= counts.size(), "histogram bucket %zu out of range",
+             bucket);
+    return counts[bucket];
+}
+
+double
+Histogram::fraction(std::size_t bucket) const
+{
+    if (totalCount == 0)
+        return 0.0;
+    return static_cast<double>(count(bucket)) /
+        static_cast<double>(totalCount);
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i)
+            os << " ";
+        os << "b" << i << "=" << counts[i];
+        os << " (" << strprintf("%.1f%%", 100.0 * fraction(i)) << ")";
+    }
+    return os.str();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    panic_if(other.counts.size() != counts.size(),
+             "merging histograms of different shapes (%zu vs %zu)",
+             counts.size(), other.counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    totalCount += other.totalCount;
+    clampedCount += other.clampedCount;
+}
+
+} // namespace nurapid

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fixed-bucket histogram used for d-group access distributions.
+ */
+
+#ifndef NURAPID_COMMON_HISTOGRAM_HH
+#define NURAPID_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nurapid {
+
+/**
+ * Counts events per integer bucket [0, buckets). Out-of-range samples
+ * are clamped into the last bucket and counted separately.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets = 0) { resize(buckets); }
+
+    void resize(std::size_t buckets);
+    void sample(std::size_t bucket, std::uint64_t weight = 1);
+    void reset();
+
+    std::size_t buckets() const { return counts.size(); }
+    std::uint64_t count(std::size_t bucket) const;
+    std::uint64_t total() const { return totalCount; }
+    std::uint64_t clamped() const { return clampedCount; }
+
+    /** Fraction of all samples that fell in @p bucket (0 if empty). */
+    double fraction(std::size_t bucket) const;
+
+    /** "b0=12 (40.0%) b1=18 (60.0%)"-style rendering. */
+    std::string toString() const;
+
+    /** Adds another histogram of the same shape bucket-wise. */
+    void merge(const Histogram &other);
+
+  private:
+    std::vector<std::uint64_t> counts;
+    std::uint64_t totalCount = 0;
+    std::uint64_t clampedCount = 0;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_COMMON_HISTOGRAM_HH

@@ -1,0 +1,89 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace nurapid {
+
+namespace {
+bool inform_enabled = true;
+} // namespace
+
+std::string
+vstrprintf(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vstrprintf(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!inform_enabled)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    inform_enabled = enabled;
+}
+
+} // namespace nurapid

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — a simulator invariant was violated (a bug in this code);
+ *            aborts so the failure is loud in tests and debuggers.
+ * fatal()  — the *user's* configuration cannot be simulated; exits(1).
+ * warn()   — something is modeled approximately; simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef NURAPID_COMMON_LOGGING_HH
+#define NURAPID_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace nurapid {
+
+/** Internal: formats and reports, then aborts. Marked noreturn. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+
+/** Internal: formats and reports, then exits(1). Marked noreturn. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+
+/** Prints a "warn: ..." line to stderr. */
+void warn(const char *fmt, ...);
+
+/** Prints an "info: ..." line to stdout. */
+void inform(const char *fmt, ...);
+
+/** Enable/disable inform() output (benchmarks silence it). */
+void setInformEnabled(bool enabled);
+
+/** printf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, std::va_list args);
+std::string strprintf(const char *fmt, ...);
+
+} // namespace nurapid
+
+#define panic(...) \
+    ::nurapid::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define fatal(...) \
+    ::nurapid::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Condition-checked panic; use for internal invariants. */
+#define panic_if(cond, ...)                                          \
+    do {                                                             \
+        if (cond) [[unlikely]]                                       \
+            ::nurapid::panicImpl(__FILE__, __LINE__, __VA_ARGS__);   \
+    } while (0)
+
+/** Condition-checked fatal; use to validate user configuration. */
+#define fatal_if(cond, ...)                                          \
+    do {                                                             \
+        if (cond) [[unlikely]]                                       \
+            ::nurapid::fatalImpl(__FILE__, __LINE__, __VA_ARGS__);   \
+    } while (0)
+
+#endif // NURAPID_COMMON_LOGGING_HH

@@ -1,0 +1,86 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace nurapid {
+
+StatGroup::StatGroup(std::string group_name)
+    : groupName(std::move(group_name))
+{
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name, Counter &c)
+{
+    panic_if(counterIndex.count(name),
+             "duplicate counter '%s' in group '%s'",
+             name.c_str(), groupName.c_str());
+    counters.emplace_back(name, &c);
+    counterIndex[name] = &c;
+    return c;
+}
+
+Average &
+StatGroup::addAverage(const std::string &name, Average &a)
+{
+    panic_if(averageIndex.count(name),
+             "duplicate average '%s' in group '%s'",
+             name.c_str(), groupName.c_str());
+    averages.emplace_back(name, &a);
+    averageIndex[name] = &a;
+    return a;
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counterIndex.find(name);
+    if (it == counterIndex.end())
+        fatal("no counter '%s' in stat group '%s'",
+              name.c_str(), groupName.c_str());
+    return it->second->value();
+}
+
+const Average &
+StatGroup::average(const std::string &name) const
+{
+    auto it = averageIndex.find(name);
+    if (it == averageIndex.end())
+        fatal("no average '%s' in stat group '%s'",
+              name.c_str(), groupName.c_str());
+    return *it->second;
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counterIndex.count(name) != 0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, c] : counters)
+        c->reset();
+    for (auto &[name, a] : averages)
+        a->reset();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, c] : counters) {
+        os << (groupName.empty() ? name : groupName + "." + name)
+           << " " << c->value() << "\n";
+    }
+    for (const auto &[name, a] : averages) {
+        os << (groupName.empty() ? name : groupName + "." + name)
+           << " mean=" << a->mean() << " samples=" << a->samples() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace nurapid

@@ -1,0 +1,82 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace nurapid {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    panic_if(!head.empty() && cells.size() != head.size(),
+             "table row has %zu cells, header has %zu",
+             cells.size(), head.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    return strprintf("%.*f", decimals, v);
+}
+
+std::string
+TextTable::pct(double fraction, int decimals)
+{
+    return strprintf("%.*f%%", decimals, 100.0 * fraction);
+}
+
+std::string
+TextTable::render() const
+{
+    const std::size_t ncols =
+        head.empty() ? (rows.empty() ? 0 : rows.front().size())
+                     : head.size();
+    std::vector<std::size_t> width(ncols, 0);
+
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size() && i < ncols; ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(head);
+    for (const auto &r : rows)
+        widen(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << cell << std::string(width[i] - cell.size(), ' ');
+            os << (i + 1 == ncols ? "" : "  ");
+        }
+        os << "\n";
+    };
+
+    if (!head.empty()) {
+        emit(head);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < ncols; ++i)
+            total += width[i] + (i + 1 == ncols ? 0 : 2);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows)
+        emit(r);
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace nurapid

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table renderer for the benchmark harness.
+ *
+ * Every bench binary prints its paper table/figure through this class so
+ * all reproduced results share one format.
+ */
+
+#ifndef NURAPID_COMMON_TABLE_HH
+#define NURAPID_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace nurapid {
+
+class TextTable
+{
+  public:
+    /** Sets the header row; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Appends a data row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: formats doubles with @p decimals digits. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Convenience: renders a percentage ("12.3%"). */
+    static std::string pct(double fraction, int decimals = 1);
+
+    /** Renders the table with column-aligned padding. */
+    std::string render() const;
+
+    /** Renders and writes to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_COMMON_TABLE_HH

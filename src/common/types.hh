@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every NuRAPID module.
+ *
+ * The simulator models a 64-bit physical address space and counts time in
+ * core clock cycles (the paper assumes a 5 GHz clock at 70 nm).
+ */
+
+#ifndef NURAPID_COMMON_TYPES_HH
+#define NURAPID_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace nurapid {
+
+/** Physical/virtual byte address. */
+using Addr = std::uint64_t;
+
+/** Absolute time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Relative time (a latency) in core clock cycles. */
+using Cycles = std::uint32_t;
+
+/** Dynamic energy in nanojoules. */
+using EnergyNJ = double;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "never" / "not scheduled". */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Kinds of requests presented to a cache. */
+enum class AccessType : std::uint8_t {
+    Read,       //!< demand load (or instruction fetch)
+    Write,      //!< demand store (write-allocate everywhere in this model)
+    Writeback,  //!< dirty eviction arriving from the level above
+};
+
+/** Human-readable name of an AccessType. */
+constexpr const char *
+accessTypeName(AccessType type)
+{
+    switch (type) {
+      case AccessType::Read: return "read";
+      case AccessType::Write: return "write";
+      case AccessType::Writeback: return "writeback";
+    }
+    return "unknown";
+}
+
+} // namespace nurapid
+
+#endif // NURAPID_COMMON_TYPES_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Two-level hybrid branch predictor (Table 1: "2-level, hybrid, 8K
+ * entries"): a gshare component, a bimodal component, and a chooser,
+ * each 8K 2-bit saturating counters.
+ */
+
+#ifndef NURAPID_CPU_BRANCH_PREDICTOR_HH
+#define NURAPID_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace nurapid {
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(std::uint32_t entries = 8192,
+                             std::uint32_t history_bits = 13);
+
+    /** Predicts the branch at @p pc. */
+    bool predict(std::uint32_t pc) const;
+
+    /**
+     * Trains on the resolved outcome and updates the global history.
+     * Returns true iff the prediction made beforehand was correct.
+     */
+    bool predictAndUpdate(std::uint32_t pc, bool taken);
+
+    double accuracy() const;
+    StatGroup &stats() { return statGroup; }
+    void resetStats() { statGroup.resetAll(); }
+
+  private:
+    static bool counterTaken(std::uint8_t c) { return c >= 2; }
+    static std::uint8_t bump(std::uint8_t c, bool taken);
+
+    std::uint32_t gshareIndex(std::uint32_t pc) const;
+    std::uint32_t bimodalIndex(std::uint32_t pc) const;
+
+    std::uint32_t mask;
+    std::uint32_t historyMask;
+    std::uint32_t history = 0;
+    std::vector<std::uint8_t> gshare;
+    std::vector<std::uint8_t> bimodal;
+    std::vector<std::uint8_t> chooser;  //!< >=2 selects gshare
+
+    StatGroup statGroup;
+    Counter statPredictions;
+    Counter statMispredicts;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_CPU_BRANCH_PREDICTOR_HH

@@ -1,0 +1,208 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+OooCore::OooCore(const CoreParams &params, SetAssocCache &l1i_cache,
+                 SetAssocCache &l1d_cache, LowerMemory &lower_mem)
+    : p(params), l1i(l1i_cache), l1d(l1d_cache), lower(lower_mem),
+      mshrs(p.mshrs, p.mshr_block_bytes), statGroup("core")
+{
+    fatal_if(p.issue_width == 0 || p.ruu_entries == 0, "degenerate core");
+    dispatchCpi = std::max(1.0 / p.issue_width, p.dispatch_cpi);
+    statGroup.addCounter("l1d_accesses", statL1DAccesses);
+    statGroup.addCounter("l1i_accesses", statL1IAccesses);
+    statGroup.addCounter("l1d_misses", statL1DMisses);
+    statGroup.addCounter("l1i_misses", statL1IMisses);
+    statGroup.addCounter("l2_demand", statL2Demand);
+    statGroup.addCounter("l2_demand_hits", statL2DemandHits);
+    statGroup.addCounter("rob_stalls", statRobStalls);
+    statGroup.addCounter("lsq_stalls", statLsqStalls);
+    statGroup.addCounter("dep_stalls", statDepStalls);
+    statGroup.addCounter("critical_stalls", statCriticalStalls);
+}
+
+void
+OooCore::enforceWindow()
+{
+    // Retire completed loads; stall dispatch when the oldest pending
+    // load is more than a full RUU behind the dispatch point.
+    auto now = static_cast<Cycle>(cycleF);
+    while (!pendingLoads.empty()) {
+        const Pending &front = pendingLoads.front();
+        if (front.completion <= now) {
+            pendingLoads.pop_front();
+            continue;
+        }
+        if (instIndex - front.inst >= p.ruu_entries) {
+            cycleF = std::max(cycleF,
+                              static_cast<double>(front.completion));
+            now = static_cast<Cycle>(cycleF);
+            pendingLoads.pop_front();
+            ++statRobStalls;
+            continue;
+        }
+        break;
+    }
+}
+
+Cycles
+OooCore::missLatency(Addr addr, AccessType type, Cycle now)
+{
+    const Addr block = blockAlign(addr, p.mshr_block_bytes);
+    mshrs.retire(now);
+
+    if (mshrs.tracks(block)) {
+        mshrs.noteMerge();
+        const Cycle ready = mshrs.readyAt(block);
+        return ready > now ? static_cast<Cycles>(ready - now) : 0;
+    }
+
+    if (mshrs.full()) {
+        // Structural stall: wait for the oldest fill.
+        const Cycle ready = mshrs.nextRetirement();
+        cycleF = std::max(cycleF, static_cast<double>(ready));
+        now = static_cast<Cycle>(cycleF);
+        mshrs.retire(now);
+        mshrs.noteFullStall();
+    }
+
+    ++statL2Demand;
+    const LowerMemory::Result res = lower.access(block, type, now);
+    if (res.hit)
+        ++statL2DemandHits;
+    const Cycles total = p.l1_latency + res.latency;
+    mshrs.allocate(block, now + total);
+    return total;
+}
+
+void
+OooCore::run(TraceSource &trace, std::uint64_t records)
+{
+    TraceRecord r;
+    for (std::uint64_t n = 0; n < records; ++n) {
+        if (!trace.next(r))
+            break;
+
+        insts += r.inst_gap + 1;
+        instIndex += r.inst_gap + 1;
+        cycleF += (r.inst_gap + 1) * dispatchCpi;
+
+        if (r.has_branch) {
+            if (!bpred.predictAndUpdate(r.branch_pc, r.branch_taken))
+                cycleF += p.mispredict_penalty;
+        }
+
+        enforceWindow();
+
+        const bool ifetch = r.op == TraceOp::Ifetch;
+        const bool store = r.op == TraceOp::Store;
+
+        // A pointer-chase load cannot issue before the previous deep
+        // load's data returns — this is what exposes L2 *hit* latency
+        // (independent loads hide under the RUU window instead).
+        if (r.depends_on_prev && !store && !ifetch) {
+            if (static_cast<double>(lastMissCompletion) > cycleF) {
+                cycleF = static_cast<double>(lastMissCompletion);
+                ++statDepStalls;
+            }
+        }
+        const auto now = static_cast<Cycle>(cycleF);
+        SetAssocCache &l1 = ifetch ? l1i : l1d;
+        if (ifetch)
+            ++statL1IAccesses;
+        else
+            ++statL1DAccesses;
+
+        const SetAssocCache::Access a = l1.access(r.addr, store);
+        if (a.evicted && a.evicted_dirty)
+            lower.access(a.evicted_addr, AccessType::Writeback, now);
+        if (a.hit)
+            continue;
+
+        if (ifetch)
+            ++statL1IMisses;
+        else
+            ++statL1DMisses;
+
+        const AccessType type =
+            store ? AccessType::Write : AccessType::Read;
+        const Cycles lat = missLatency(r.addr, type, now);
+        const Cycle completion = now + lat;
+        lastCompletion = std::max(lastCompletion, completion);
+
+        // Latency-critical loads feed consumers immediately: only a
+        // small slack of independent work hides their latency.
+        if (r.latency_critical && !store && !ifetch &&
+            completion > now + p.consumer_slack) {
+            const double resume =
+                static_cast<double>(completion - p.consumer_slack);
+            if (resume > cycleF) {
+                cycleF = resume;
+                ++statCriticalStalls;
+            }
+        }
+
+        if (store) {
+            // Stores retire through the LSQ without blocking dispatch
+            // unless the queue fills.
+            pendingStores.push_back(completion);
+            while (!pendingStores.empty() &&
+                   pendingStores.front() <=
+                       static_cast<Cycle>(cycleF)) {
+                pendingStores.pop_front();
+            }
+            if (pendingStores.size() > p.lsq_entries) {
+                cycleF = std::max(
+                    cycleF, static_cast<double>(pendingStores.front()));
+                pendingStores.pop_front();
+                ++statLsqStalls;
+            }
+        } else {
+            // Loads (and ifetches) hold the window.
+            pendingLoads.push_back({instIndex, completion});
+            if (!ifetch)
+                lastMissCompletion = completion;
+        }
+    }
+}
+
+std::uint64_t
+OooCore::cycles() const
+{
+    // Account for the drain of whatever is still in flight.
+    const auto dispatched = static_cast<std::uint64_t>(cycleF);
+    const std::uint64_t now = std::max(dispatched, lastCompletion);
+    return now > cycleBase ? now - cycleBase : 0;
+}
+
+double
+OooCore::ipc() const
+{
+    const std::uint64_t c = cycles();
+    return c ? static_cast<double>(insts) / c : 0.0;
+}
+
+void
+OooCore::resetStats()
+{
+    statGroup.resetAll();
+    bpred.resetStats();
+    mshrs.stats().resetAll();
+    l1i.stats().resetAll();
+    l1d.stats().resetAll();
+    // Time stays absolute — the lower hierarchy's port/bank clocks are
+    // absolute too, so zeroing the dispatch clock here would make the
+    // first measured accesses appear to wait out the whole warmup.
+    // Instead, record baselines and keep in-flight state warm.
+    const auto dispatched = static_cast<std::uint64_t>(cycleF);
+    cycleBase = std::max(dispatched, static_cast<std::uint64_t>(
+        lastCompletion));
+    instBase = insts;
+}
+
+} // namespace nurapid

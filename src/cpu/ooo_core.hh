@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Trace-driven out-of-order core timing model (Table 1's machine:
+ * 8-wide, 64-entry RUU, 32-entry LSQ, 8 MSHRs, 9-cycle mispredict
+ * penalty).
+ *
+ * The model dispatches the trace at issue-width rate and enforces the
+ * classic ROB-occupancy bound on memory-level parallelism: an L1 miss
+ * issued at instruction i blocks dispatch at instruction i + RUU until
+ * its fill returns, so short L2 hits hide under the window while
+ * memory-latency misses stall the core — exactly the sensitivity the
+ * paper's L2 experiments need.
+ */
+
+#ifndef NURAPID_CPU_OOO_CORE_HH
+#define NURAPID_CPU_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/branch_predictor.hh"
+#include "mem/lower_memory.hh"
+#include "mem/mshr.hh"
+#include "mem/set_assoc_cache.hh"
+#include "trace/record.hh"
+
+namespace nurapid {
+
+struct CoreParams
+{
+    std::uint32_t issue_width = 8;
+
+    /**
+     * Effective dispatch cost per instruction in cycles. The floor is
+     * 1/issue_width; workloads raise it to their intrinsic (dependency
+     * and functional-unit limited) CPI so base IPCs match Table 3.
+     */
+    double dispatch_cpi = 0.125;
+    std::uint32_t ruu_entries = 64;
+    std::uint32_t lsq_entries = 32;
+    Cycles mispredict_penalty = 9;
+    Cycles l1_latency = 3;
+    std::uint32_t mshrs = 8;
+
+    /**
+     * MSHR tracking granularity. The default matches the L1 block
+     * size (32 B), as in the paper's SimpleScalar substrate: misses to
+     * different sectors of one 128 B L2 block are separate L2 accesses
+     * (this burst traffic is part of what loads D-NUCA's banks).
+     * Setting it to the L2 block size models sector-merging MSHRs.
+     */
+    std::uint32_t mshr_block_bytes = 32;
+
+    /**
+     * Cycles of independent work the scheduler finds while a
+     * latency-critical load is outstanding. Latency beyond this slack
+     * stalls dispatch (the load's consumers are next in line).
+     */
+    Cycles consumer_slack = 4;
+};
+
+class OooCore
+{
+  public:
+    OooCore(const CoreParams &params, SetAssocCache &l1i,
+            SetAssocCache &l1d, LowerMemory &lower);
+
+    /** Runs @p records trace records through the machine. */
+    void run(TraceSource &trace, std::uint64_t records);
+
+    /** Cycles elapsed since the last resetStats() (incl. drain). */
+    std::uint64_t cycles() const;
+    std::uint64_t instructions() const { return insts - instBase; }
+    double ipc() const;
+
+    BranchPredictor &branchPredictor() { return bpred; }
+    MshrFile &mshrFile() { return mshrs; }
+    StatGroup &stats() { return statGroup; }
+
+    std::uint64_t l1dAccesses() const { return statL1DAccesses.value(); }
+    std::uint64_t l1iAccesses() const { return statL1IAccesses.value(); }
+
+    /** Zeroes timing/statistics state but keeps caches warm. */
+    void resetStats();
+
+  private:
+    struct Pending
+    {
+        std::uint64_t inst = 0;  //!< instruction index at issue
+        Cycle completion = 0;
+    };
+
+    void enforceWindow();
+    Cycles missLatency(Addr addr, AccessType type, Cycle now);
+
+    CoreParams p;
+    SetAssocCache &l1i;
+    SetAssocCache &l1d;
+    LowerMemory &lower;
+    BranchPredictor bpred;
+    MshrFile mshrs;
+
+    double dispatchCpi = 0.125;
+    double cycleF = 0.0;        //!< absolute dispatch clock (never reset)
+    std::uint64_t insts = 0;    //!< absolute instruction count
+    std::uint64_t instIndex = 0;
+    Cycle lastCompletion = 0;
+    Cycle lastMissCompletion = 0;  //!< last deep load's data-ready time
+    Cycle cycleBase = 0;        //!< measurement-phase baselines
+    std::uint64_t instBase = 0;
+    std::deque<Pending> pendingLoads;
+    std::deque<Cycle> pendingStores;
+
+    StatGroup statGroup;
+    Counter statL1DAccesses;
+    Counter statL1IAccesses;
+    Counter statL1DMisses;
+    Counter statL1IMisses;
+    Counter statL2Demand;
+    Counter statL2DemandHits;
+    Counter statRobStalls;
+    Counter statLsqStalls;
+    Counter statDepStalls;
+    Counter statCriticalStalls;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_CPU_OOO_CORE_HH

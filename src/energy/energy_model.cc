@@ -1,0 +1,25 @@
+#include "energy/energy_model.hh"
+
+#include "cpu/ooo_core.hh"
+#include "mem/lower_memory.hh"
+
+namespace nurapid {
+
+EnergyReport
+computeEnergy(const ProcessorEnergyParams &params, const OooCore &core,
+              const LowerMemory &lower)
+{
+    EnergyReport r;
+    r.core_nj = params.core_nj_per_inst *
+        static_cast<double>(core.instructions());
+    r.l1_nj = params.l1_nj_per_access *
+        static_cast<double>(core.l1dAccesses() + core.l1iAccesses());
+    r.l2_cache_nj = lower.cacheEnergyNJ();
+    r.memory_nj = lower.dynamicEnergyNJ() - lower.cacheEnergyNJ();
+    r.total_nj = r.core_nj + r.l1_nj + r.l2_cache_nj + r.memory_nj;
+    r.cycles = core.cycles();
+    r.edp = r.total_nj * static_cast<double>(r.cycles);
+    return r;
+}
+
+} // namespace nurapid

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Processor-level energy accounting (the paper's Wattch substitution).
+ *
+ * The cache energies come from the Cacti-like model in src/timing (the
+ * paper replaced Wattch's cache model the same way); everything else in
+ * the core is charged a constant per committed instruction plus
+ * per-L1-access energies, which is all the relative energy-delay claims
+ * need (the core term is a common additive component across the
+ * compared L2 organizations).
+ */
+
+#ifndef NURAPID_ENERGY_ENERGY_MODEL_HH
+#define NURAPID_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace nurapid {
+
+class OooCore;
+class LowerMemory;
+
+struct ProcessorEnergyParams
+{
+    /** Core (fetch/rename/issue/ALU/regfile/clock) energy per
+     *  committed instruction, nJ. Wattch-like 8-wide @ 70 nm. */
+    double core_nj_per_inst = 4.0;
+
+    /** Per-access energy of one L1 port (Table 2's 0.57 nJ covers the
+     *  two ports of the dual-ported L1). */
+    double l1_nj_per_access = 0.285;
+};
+
+struct EnergyReport
+{
+    EnergyNJ core_nj = 0;       //!< non-cache core energy
+    EnergyNJ l1_nj = 0;
+    EnergyNJ l2_cache_nj = 0;   //!< on-chip lower-hierarchy energy
+    EnergyNJ memory_nj = 0;     //!< off-chip DRAM energy
+    EnergyNJ total_nj = 0;
+    std::uint64_t cycles = 0;
+    double edp = 0;             //!< total energy x delay (nJ x cycles)
+};
+
+/** Assembles the processor energy report for one finished run. */
+EnergyReport computeEnergy(const ProcessorEnergyParams &params,
+                           const OooCore &core, const LowerMemory &lower);
+
+} // namespace nurapid
+
+#endif // NURAPID_ENERGY_ENERGY_MODEL_HH

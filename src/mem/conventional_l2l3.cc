@@ -1,0 +1,105 @@
+#include "mem/conventional_l2l3.hh"
+
+#include "common/logging.hh"
+
+namespace nurapid {
+
+ConventionalL2L3::ConventionalL2L3(const SramMacroModel &model,
+                                   const Params &params)
+    : p(params), l2Cache(p.l2), l3Cache(p.l3), mem(p.memory),
+      l2Timing(makeUniformTiming(model, p.l2.capacity_bytes, p.l2.assoc,
+                                 p.l2.block_bytes, /*sequential=*/true, 1,
+                                 p.l2_latency)),
+      l3Timing(makeUniformTiming(model, p.l3.capacity_bytes, p.l3.assoc,
+                                 p.l3.block_bytes, /*sequential=*/true, 1,
+                                 p.l3_latency)),
+      statGroup(orgName)
+{
+    statGroup.addCounter("accesses", statAccesses);
+    statGroup.addCounter("l2_hits", statL2Hits);
+    statGroup.addCounter("l3_hits", statL3Hits);
+    statGroup.addCounter("memory_fills", statMemFills);
+}
+
+LowerMemory::Result
+ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
+{
+    (void)now;  // uniform pipelined caches: no port modeling needed
+
+    if (type == AccessType::Writeback) {
+        // L1 dirty eviction: absorb into L2 (write-allocate), push any
+        // L2 victim into L3. Off the critical path.
+        cacheEnergy += l2Timing.write_nj;
+        auto r = l2Cache.access(addr, /*is_write=*/true);
+        if (r.evicted && r.evicted_dirty) {
+            cacheEnergy += l3Timing.write_nj;
+            auto r3 = l3Cache.access(r.evicted_addr, true);
+            if (r3.evicted && r3.evicted_dirty)
+                mem.write(p.l3.block_bytes);
+        }
+        return {0, true};
+    }
+
+    const bool is_write = type == AccessType::Write;
+    ++statAccesses;
+    Result result;
+
+    cacheEnergy += is_write ? l2Timing.write_nj : l2Timing.read_nj;
+    auto r2 = l2Cache.access(addr, is_write);
+    if (r2.evicted && r2.evicted_dirty) {
+        // Non-inclusive hierarchy: L2 victims are allocated into L3.
+        cacheEnergy += l3Timing.write_nj;
+        auto wb = l3Cache.access(r2.evicted_addr, true);
+        if (wb.evicted && wb.evicted_dirty)
+            mem.write(p.l3.block_bytes);
+    }
+    if (r2.hit) {
+        ++statL2Hits;
+        regionHist.sample(0);
+        result.hit = true;
+        result.latency = p.l2_latency;
+        return result;
+    }
+
+    cacheEnergy += l3Timing.read_nj;
+    auto r3 = l3Cache.access(addr, is_write);
+    if (r3.evicted && r3.evicted_dirty)
+        mem.write(p.l3.block_bytes);
+    if (r3.hit) {
+        ++statL3Hits;
+        regionHist.sample(1);
+        // The L3 probe overlaps the tail of the L2 lookup (pipelined
+        // lookup), so an L3 hit costs the L3's uniform access time.
+        result.hit = true;
+        result.latency = p.l3_latency;
+        return result;
+    }
+
+    ++statMemFills;
+    result.hit = false;
+    // Sequential tag-data access: the miss is known after the tag-only
+    // probes of both levels, well before a full data access would have
+    // completed.
+    result.latency = l2Timing.tag_latency + l3Timing.tag_latency +
+        mem.read(p.l3.block_bytes);
+    return result;
+}
+
+EnergyNJ
+ConventionalL2L3::dynamicEnergyNJ() const
+{
+    return cacheEnergy + mem.dynamicEnergyNJ();
+}
+
+void
+ConventionalL2L3::resetStats()
+{
+    statGroup.resetAll();
+    l2Cache.stats().resetAll();
+    l3Cache.stats().resetAll();
+    mem.resetStats();
+    regionHist.reset();
+    cacheEnergy = 0;
+}
+
+} // namespace nurapid

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The interface every lower-level cache organization implements.
+ *
+ * The CPU+L1 front end sees "everything below L1" through this one
+ * interface, so the conventional L2/L3 hierarchy, D-NUCA, and NuRAPID
+ * are interchangeable in the simulated system.
+ */
+
+#ifndef NURAPID_MEM_LOWER_MEMORY_HH
+#define NURAPID_MEM_LOWER_MEMORY_HH
+
+#include <string>
+
+#include "common/histogram.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace nurapid {
+
+class LowerMemory
+{
+  public:
+    /** Outcome of one L1-miss access into the lower hierarchy. */
+    struct Result
+    {
+        Cycles latency = 0;  //!< cycles until data returns to L1
+        bool hit = false;    //!< hit anywhere on chip below L1
+    };
+
+    virtual ~LowerMemory() = default;
+
+    /**
+     * Performs one access at time @p now; @p addr need not be aligned.
+     * Writebacks complete off the critical path (latency still models
+     * any port/bank occupancy they caused).
+     */
+    virtual Result access(Addr addr, AccessType type, Cycle now) = 0;
+
+    /** Total dynamic energy consumed so far (caches + any memory the
+     *  organization itself touched are accounted by the owner). */
+    virtual EnergyNJ dynamicEnergyNJ() const = 0;
+
+    /** On-chip (cache-only) dynamic energy — the paper's "L2 cache
+     *  energy" metric excludes DRAM. */
+    virtual EnergyNJ cacheEnergyNJ() const = 0;
+
+    /** Organization name for reports. */
+    virtual const std::string &name() const = 0;
+
+    /** Statistics registry. */
+    virtual StatGroup &stats() = 0;
+
+    /**
+     * Distribution of *hits* across latency regions (d-groups for
+     * NuRAPID, bank rows for D-NUCA, levels for the conventional
+     * hierarchy). Used by the Figure 4/5/7 benches.
+     */
+    virtual const Histogram &regionHits() const = 0;
+
+    /** Zeroes statistics after cache warmup. */
+    virtual void resetStats() = 0;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_MEM_LOWER_MEMORY_HH

@@ -1,0 +1,41 @@
+#include "mem/main_memory.hh"
+
+namespace nurapid {
+
+MainMemory::MainMemory(const Params &params)
+    : p(params), statGroup("memory")
+{
+    statGroup.addCounter("reads", statReads);
+    statGroup.addCounter("writes", statWrites);
+}
+
+Cycles
+MainMemory::latency(std::uint32_t bytes) const
+{
+    return p.base_latency + p.cycles_per_8b * ((bytes + 7) / 8);
+}
+
+Cycles
+MainMemory::read(std::uint32_t bytes)
+{
+    ++statReads;
+    energy += p.access_nj;
+    return latency(bytes);
+}
+
+void
+MainMemory::resetStats()
+{
+    statGroup.resetAll();
+    energy = 0;
+}
+
+void
+MainMemory::write(std::uint32_t bytes)
+{
+    (void)bytes;
+    ++statWrites;
+    energy += p.access_nj;
+}
+
+} // namespace nurapid

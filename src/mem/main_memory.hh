@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Main-memory model: Table 1's "130 cycles + 4 cycles per 8 bytes".
+ */
+
+#ifndef NURAPID_MEM_MAIN_MEMORY_HH
+#define NURAPID_MEM_MAIN_MEMORY_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace nurapid {
+
+class MainMemory
+{
+  public:
+    struct Params
+    {
+        Cycles base_latency = 130;     //!< fixed access latency
+        Cycles cycles_per_8b = 4;      //!< transfer time per 8 bytes
+        EnergyNJ access_nj = 12.0;     //!< off-chip access+transfer energy
+    };
+
+    MainMemory() : MainMemory(Params{}) {}
+    explicit MainMemory(const Params &params);
+
+    /** Latency to return @p bytes from memory. */
+    Cycles latency(std::uint32_t bytes) const;
+
+    /** Records a demand read of @p bytes; returns its latency. */
+    Cycles read(std::uint32_t bytes);
+
+    /** Records a writeback of @p bytes (off the critical path). */
+    void write(std::uint32_t bytes);
+
+    EnergyNJ dynamicEnergyNJ() const { return energy; }
+
+    /** Clears counters and accumulated energy (post-warmup reset). */
+    void resetStats();
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    Params p;
+    EnergyNJ energy = 0;
+
+    StatGroup statGroup;
+    Counter statReads;
+    Counter statWrites;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_MEM_MAIN_MEMORY_HH

@@ -1,0 +1,92 @@
+#include "mem/mshr.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+MshrFile::MshrFile(std::uint32_t entries, std::uint32_t block_bytes)
+    : numEntries(entries), blockBytes(block_bytes), entries(entries),
+      statGroup("mshr")
+{
+    fatal_if(entries == 0, "MSHR file needs at least one entry");
+    fatal_if(!isPowerOf2(block_bytes), "MSHR block size not a power of 2");
+    statGroup.addCounter("allocations", statAllocations);
+    statGroup.addCounter("merges", statMerges);
+    statGroup.addCounter("full_stalls", statFullStalls);
+}
+
+void
+MshrFile::retire(Cycle now)
+{
+    for (Entry &e : entries) {
+        if (e.valid && e.ready <= now) {
+            e.valid = false;
+            e.block = kInvalidAddr;
+            e.ready = kNeverCycle;
+        }
+    }
+}
+
+bool
+MshrFile::tracks(Addr addr) const
+{
+    const Addr block = blockAlign(addr, blockBytes);
+    for (const Entry &e : entries) {
+        if (e.valid && e.block == block)
+            return true;
+    }
+    return false;
+}
+
+Cycle
+MshrFile::readyAt(Addr addr) const
+{
+    const Addr block = blockAlign(addr, blockBytes);
+    for (const Entry &e : entries) {
+        if (e.valid && e.block == block)
+            return e.ready;
+    }
+    panic("readyAt() on untracked address %llx",
+          static_cast<unsigned long long>(addr));
+}
+
+void
+MshrFile::allocate(Addr addr, Cycle ready)
+{
+    const Addr block = blockAlign(addr, blockBytes);
+    panic_if(tracks(block), "duplicate MSHR allocation for %llx",
+             static_cast<unsigned long long>(block));
+    for (Entry &e : entries) {
+        if (!e.valid) {
+            e.valid = true;
+            e.block = block;
+            e.ready = ready;
+            ++statAllocations;
+            return;
+        }
+    }
+    panic("MSHR allocation with a full file");
+}
+
+Cycle
+MshrFile::nextRetirement() const
+{
+    Cycle best = kNeverCycle;
+    for (const Entry &e : entries) {
+        if (e.valid && e.ready < best)
+            best = e.ready;
+    }
+    return best;
+}
+
+std::uint32_t
+MshrFile::live() const
+{
+    std::uint32_t n = 0;
+    for (const Entry &e : entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace nurapid

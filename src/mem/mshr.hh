@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Miss-status holding registers.
+ *
+ * The L1 d-cache has 8 MSHRs (Table 1). They bound memory-level
+ * parallelism: a miss to a block already outstanding merges into the
+ * existing entry; a new miss with all MSHRs busy stalls the core until
+ * one retires.
+ */
+
+#ifndef NURAPID_MEM_MSHR_HH
+#define NURAPID_MEM_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace nurapid {
+
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::uint32_t entries, std::uint32_t block_bytes);
+
+    /** Frees every entry whose fill completed at or before @p now. */
+    void retire(Cycle now);
+
+    /** True if a miss to @p addr would merge into an existing entry. */
+    bool tracks(Addr addr) const;
+
+    /** Completion cycle of the outstanding miss covering @p addr. */
+    Cycle readyAt(Addr addr) const;
+
+    /** True if no entry is free (after retire(now)). */
+    bool full() const { return live() >= numEntries; }
+
+    /**
+     * Allocates an entry for the block of @p addr completing at
+     * @p ready. Caller must ensure !full() and !tracks(addr).
+     */
+    void allocate(Addr addr, Cycle ready);
+
+    /** Earliest completion among outstanding entries (kNeverCycle if none). */
+    Cycle nextRetirement() const;
+
+    std::uint32_t live() const;
+    std::uint32_t capacity() const { return numEntries; }
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    struct Entry
+    {
+        Addr block = kInvalidAddr;
+        Cycle ready = kNeverCycle;
+        bool valid = false;
+    };
+
+    std::uint32_t numEntries;
+    std::uint32_t blockBytes;
+    std::vector<Entry> entries;
+
+    StatGroup statGroup;
+    Counter statAllocations;
+    Counter statMerges;
+    Counter statFullStalls;
+
+  public:
+    /** Bumps the merge counter (core merged a miss). */
+    void noteMerge() { ++statMerges; }
+
+    /** Bumps the structural-stall counter (core stalled on full file). */
+    void noteFullStall() { ++statFullStalls; }
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_MEM_MSHR_HH

@@ -1,0 +1,122 @@
+#include "mem/replacement.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+std::unique_ptr<Replacer>
+Replacer::create(ReplPolicy policy, std::uint32_t sets, std::uint32_t ways,
+                 std::uint64_t seed)
+{
+    switch (policy) {
+      case ReplPolicy::LRU:
+        return std::make_unique<LruReplacer>(sets, ways);
+      case ReplPolicy::Random:
+        return std::make_unique<RandomReplacer>(ways, seed);
+      case ReplPolicy::TreePLRU:
+        return std::make_unique<TreePlruReplacer>(sets, ways);
+    }
+    panic("unknown replacement policy");
+}
+
+LruReplacer::LruReplacer(std::uint32_t sets, std::uint32_t ways)
+    : nWays(ways), stamps(std::size_t{sets} * ways, 0)
+{
+    fatal_if(ways == 0 || sets == 0, "empty LRU replacer");
+}
+
+void
+LruReplacer::touch(std::uint32_t set, std::uint32_t way)
+{
+    stamps[std::size_t{set} * nWays + way] = ++clock;
+}
+
+std::uint32_t
+LruReplacer::victim(std::uint32_t set)
+{
+    const std::size_t base = std::size_t{set} * nWays;
+    std::uint32_t best = 0;
+    for (std::uint32_t w = 1; w < nWays; ++w) {
+        if (stamps[base + w] < stamps[base + best])
+            best = w;
+    }
+    return best;
+}
+
+bool
+LruReplacer::older(std::uint32_t set, std::uint32_t a, std::uint32_t b) const
+{
+    const std::size_t base = std::size_t{set} * nWays;
+    return stamps[base + a] < stamps[base + b];
+}
+
+RandomReplacer::RandomReplacer(std::uint32_t ways, std::uint64_t seed)
+    : nWays(ways), rng(seed)
+{
+    fatal_if(ways == 0, "empty random replacer");
+}
+
+void
+RandomReplacer::touch(std::uint32_t set, std::uint32_t way)
+{
+    (void)set;
+    (void)way;
+}
+
+std::uint32_t
+RandomReplacer::victim(std::uint32_t set)
+{
+    (void)set;
+    return rng.below(nWays);
+}
+
+TreePlruReplacer::TreePlruReplacer(std::uint32_t sets, std::uint32_t ways)
+    : nWays(ways), nodesPerSet(ways - 1),
+      tree(std::size_t{sets} * (ways - 1), false)
+{
+    fatal_if(!isPowerOf2(ways) || ways < 2,
+             "tree-PLRU needs a power-of-two way count >= 2, got %u", ways);
+}
+
+void
+TreePlruReplacer::touch(std::uint32_t set, std::uint32_t way)
+{
+    // Walk from the root towards the touched leaf, pointing every node
+    // *away* from the path taken.
+    const std::size_t base = std::size_t{set} * nodesPerSet;
+    std::uint32_t node = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = nWays;
+    while (hi - lo > 1) {
+        const std::uint32_t mid = (lo + hi) / 2;
+        const bool went_right = way >= mid;
+        tree[base + node] = !went_right;  // LRU hint points the other way
+        node = 2 * node + (went_right ? 2 : 1);
+        if (went_right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+}
+
+std::uint32_t
+TreePlruReplacer::victim(std::uint32_t set)
+{
+    const std::size_t base = std::size_t{set} * nodesPerSet;
+    std::uint32_t node = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = nWays;
+    while (hi - lo > 1) {
+        const std::uint32_t mid = (lo + hi) / 2;
+        const bool go_right = tree[base + node];
+        node = 2 * node + (go_right ? 2 : 1);
+        if (go_right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace nurapid

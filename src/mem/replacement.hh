@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Replacement policies for set-associative tag/data stores.
+ *
+ * The paper uses LRU for data replacement (Section 2.4.2) and contrasts
+ * random vs true-LRU for distance replacement. Tree-PLRU is included as
+ * the usual hardware-realizable approximation (Section 2.4.2 notes
+ * true LRU is O(n^2) hardware in the number of tracked elements [12]).
+ */
+
+#ifndef NURAPID_MEM_REPLACEMENT_HH
+#define NURAPID_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace nurapid {
+
+enum class ReplPolicy : std::uint8_t { LRU, Random, TreePLRU };
+
+constexpr const char *
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::LRU: return "lru";
+      case ReplPolicy::Random: return "random";
+      case ReplPolicy::TreePLRU: return "tree-plru";
+    }
+    return "unknown";
+}
+
+/**
+ * Per-set replacement-state tracker. The cache reports touches and
+ * fills; victim() nominates a way when the set is full (the cache
+ * prefers invalid ways itself and only consults victim() otherwise).
+ */
+class Replacer
+{
+  public:
+    virtual ~Replacer() = default;
+
+    /** Records a hit on (set, way). */
+    virtual void touch(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** Records a fill into (set, way); defaults to touch(). */
+    virtual void
+    fill(std::uint32_t set, std::uint32_t way)
+    {
+        touch(set, way);
+    }
+
+    /** Nominates the victim way in @p set. */
+    virtual std::uint32_t victim(std::uint32_t set) = 0;
+
+    /** Factory. @p seed only matters for Random. */
+    static std::unique_ptr<Replacer> create(ReplPolicy policy,
+                                            std::uint32_t sets,
+                                            std::uint32_t ways,
+                                            std::uint64_t seed = 1);
+};
+
+/** True LRU via monotonic access stamps (exact, O(ways) victim scan). */
+class LruReplacer : public Replacer
+{
+  public:
+    LruReplacer(std::uint32_t sets, std::uint32_t ways);
+
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+
+    /** Ordering helper for tests: true iff way a is older than way b. */
+    bool older(std::uint32_t set, std::uint32_t a, std::uint32_t b) const;
+
+  private:
+    std::uint32_t nWays;
+    std::uint64_t clock = 0;
+    std::vector<std::uint64_t> stamps;  //!< [set * ways + way]
+};
+
+/** Uniform-random victim selection (deterministic under a fixed seed). */
+class RandomReplacer : public Replacer
+{
+  public:
+    RandomReplacer(std::uint32_t ways, std::uint64_t seed);
+
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+
+  private:
+    std::uint32_t nWays;
+    Rng rng;
+};
+
+/** Classic binary-tree pseudo-LRU (ways must be a power of two). */
+class TreePlruReplacer : public Replacer
+{
+  public:
+    TreePlruReplacer(std::uint32_t sets, std::uint32_t ways);
+
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+
+  private:
+    std::uint32_t nWays;
+    std::uint32_t nodesPerSet;
+    std::vector<bool> tree;  //!< [set * nodesPerSet + node]
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_MEM_REPLACEMENT_HH

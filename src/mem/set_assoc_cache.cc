@@ -1,0 +1,174 @@
+#include "mem/set_assoc_cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+std::uint32_t
+CacheOrg::numSets() const
+{
+    return static_cast<std::uint32_t>(
+        capacity_bytes / (std::uint64_t{assoc} * block_bytes));
+}
+
+std::uint32_t
+CacheOrg::numBlocks() const
+{
+    return static_cast<std::uint32_t>(capacity_bytes / block_bytes);
+}
+
+SetAssocCache::SetAssocCache(const CacheOrg &org)
+    : organization(org), sets(org.numSets()),
+      lines(std::size_t{sets} * org.assoc),
+      replacer(Replacer::create(org.repl, sets, org.assoc, org.repl_seed)),
+      statGroup(org.name)
+{
+    fatal_if(org.capacity_bytes == 0, "%s: zero capacity",
+             org.name.c_str());
+    fatal_if(!isPowerOf2(org.block_bytes), "%s: block size %u not pow2",
+             org.name.c_str(), org.block_bytes);
+    fatal_if(org.capacity_bytes %
+                 (std::uint64_t{org.assoc} * org.block_bytes) != 0,
+             "%s: capacity not divisible by assoc*block", org.name.c_str());
+    fatal_if(!isPowerOf2(sets), "%s: set count %u not pow2",
+             org.name.c_str(), sets);
+
+    statGroup.addCounter("hits", statHits);
+    statGroup.addCounter("misses", statMisses);
+    statGroup.addCounter("evictions", statEvictions);
+    statGroup.addCounter("writebacks", statWritebacks);
+}
+
+std::uint32_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>(
+        (addr / organization.block_bytes) & (sets - 1));
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return addr / organization.block_bytes / sets;
+}
+
+SetAssocCache::Line &
+SetAssocCache::line(std::uint32_t set, std::uint32_t way)
+{
+    return lines[std::size_t{set} * organization.assoc + way];
+}
+
+SetAssocCache::Access
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+
+    Access result;
+    for (std::uint32_t w = 0; w < organization.assoc; ++w) {
+        Line &l = line(set, w);
+        if (l.valid && l.tag == tag) {
+            ++statHits;
+            replacer->touch(set, w);
+            if (is_write)
+                l.dirty = true;
+            result.hit = true;
+            result.way = w;
+            return result;
+        }
+    }
+
+    ++statMisses;
+
+    // Prefer an invalid way; otherwise consult the replacer.
+    std::uint32_t victim_way = organization.assoc;
+    for (std::uint32_t w = 0; w < organization.assoc; ++w) {
+        if (!line(set, w).valid) {
+            victim_way = w;
+            break;
+        }
+    }
+    if (victim_way == organization.assoc)
+        victim_way = replacer->victim(set);
+    panic_if(victim_way >= organization.assoc,
+             "%s: replacer nominated invalid way %u",
+             organization.name.c_str(), victim_way);
+
+    Line &v = line(set, victim_way);
+    if (v.valid) {
+        ++statEvictions;
+        result.evicted = true;
+        result.evicted_addr =
+            (v.tag * sets + set) * organization.block_bytes;
+        result.evicted_dirty = v.dirty;
+        if (v.dirty)
+            ++statWritebacks;
+    }
+
+    v.tag = tag;
+    v.valid = true;
+    v.dirty = is_write;
+    replacer->fill(set, victim_way);
+
+    result.way = victim_way;
+    return result;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(
+            (addr / organization.block_bytes) & (sets - 1));
+    const Addr tag = addr / organization.block_bytes / sets;
+    for (std::uint32_t w = 0; w < organization.assoc; ++w) {
+        const Line &l =
+            lines[std::size_t{set} * organization.assoc + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::markDirty(Addr addr)
+{
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (std::uint32_t w = 0; w < organization.assoc; ++w) {
+        Line &l = line(set, w);
+        if (l.valid && l.tag == tag) {
+            l.dirty = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (std::uint32_t w = 0; w < organization.assoc; ++w) {
+        Line &l = line(set, w);
+        if (l.valid && l.tag == tag) {
+            l.valid = false;
+            const bool was_dirty = l.dirty;
+            l.dirty = false;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+double
+SetAssocCache::missRatio() const
+{
+    const double total =
+        static_cast<double>(statHits.value() + statMisses.value());
+    return total > 0 ? statMisses.value() / total : 0.0;
+}
+
+} // namespace nurapid

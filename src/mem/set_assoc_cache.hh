@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A generic behavioral set-associative cache.
+ *
+ * Used for the L1 I/D caches, the conventional baseline's L2 and L3,
+ * and the per-bank tag state of the D-NUCA model. Tracks tags, valid
+ * and dirty bits only (this is a performance/energy simulator; no data
+ * payloads are stored).
+ */
+
+#ifndef NURAPID_MEM_SET_ASSOC_CACHE_HH
+#define NURAPID_MEM_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/replacement.hh"
+
+namespace nurapid {
+
+/** Static organization of a SetAssocCache. */
+struct CacheOrg
+{
+    std::string name = "cache";
+    std::uint64_t capacity_bytes = 0;
+    std::uint32_t assoc = 1;
+    std::uint32_t block_bytes = 64;
+    ReplPolicy repl = ReplPolicy::LRU;
+    std::uint64_t repl_seed = 1;
+
+    std::uint32_t numSets() const;
+    std::uint32_t numBlocks() const;
+};
+
+class SetAssocCache
+{
+  public:
+    /** Outcome of one access (state already updated when returned). */
+    struct Access
+    {
+        bool hit = false;
+        std::uint32_t way = 0;       //!< way hit or filled
+        bool evicted = false;        //!< a valid block was displaced
+        Addr evicted_addr = kInvalidAddr;
+        bool evicted_dirty = false;
+    };
+
+    explicit SetAssocCache(const CacheOrg &org);
+
+    /**
+     * Performs a demand access: on a miss the block is allocated
+     * (write-allocate) and the displaced victim, if any, is reported.
+     */
+    Access access(Addr addr, bool is_write);
+
+    /** Looks up @p addr without changing any state. */
+    bool contains(Addr addr) const;
+
+    /** Marks @p addr dirty if present (e.g. writeback arriving). */
+    bool markDirty(Addr addr);
+
+    /** Invalidates @p addr; returns true if it was present and dirty. */
+    bool invalidate(Addr addr);
+
+    const CacheOrg &org() const { return organization; }
+    StatGroup &stats() { return statGroup; }
+    const StatGroup &stats() const { return statGroup; }
+
+    std::uint64_t hits() const { return statHits.value(); }
+    std::uint64_t misses() const { return statMisses.value(); }
+    double missRatio() const;
+
+    /** Set index of an address (exposed for hot-set analyses). */
+    std::uint32_t setIndex(Addr addr) const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Addr tagOf(Addr addr) const;
+    Line &line(std::uint32_t set, std::uint32_t way);
+
+    CacheOrg organization;
+    std::uint32_t sets;
+    std::vector<Line> lines;  //!< [set * assoc + way]
+    std::unique_ptr<Replacer> replacer;
+
+    StatGroup statGroup;
+    Counter statHits;
+    Counter statMisses;
+    Counter statEvictions;
+    Counter statWritebacks;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_MEM_SET_ASSOC_CACHE_HH

@@ -1,0 +1,293 @@
+#include "nuca/dnuca.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+DNucaCache::DNucaCache(const SramMacroModel &model, const Params &params)
+    : p(params),
+      times(makeDNucaTiming(model, p.capacity_bytes, p.rows, p.cols,
+                            p.block_bytes)),
+      sets(static_cast<std::uint32_t>(
+          p.capacity_bytes / (std::uint64_t{p.assoc} * p.block_bytes))),
+      waysPerRow(p.assoc / p.rows),
+      partialMask((Addr{1} << p.partial_tag_bits) - 1),
+      lines(std::size_t{sets} * p.assoc),
+      stamps(std::size_t{sets} * p.assoc, 0),
+      bankFree(std::size_t{p.rows} * p.cols, 0),
+      mem(p.memory), statGroup(p.name), regionHist(p.rows)
+{
+    fatal_if(p.assoc % p.rows != 0,
+             "associativity %u not divisible across %u bank rows",
+             p.assoc, p.rows);
+    fatal_if(!isPowerOf2(sets), "set count %u not a power of two", sets);
+    fatal_if(!isPowerOf2(p.cols), "bank-set count %u not a power of two",
+             p.cols);
+
+    statGroup.addCounter("demand_accesses", statDemandAccesses);
+    statGroup.addCounter("writeback_accesses", statWritebackAccesses);
+    statGroup.addCounter("hits", statHits);
+    statGroup.addCounter("misses", statMisses);
+    statGroup.addCounter("evictions", statEvictions);
+    statGroup.addCounter("promotions", statPromotions);
+    statGroup.addCounter("block_moves", statBlockMoves);
+    statGroup.addCounter("bank_data_accesses", statBankDataAccesses);
+    statGroup.addCounter("bank_search_probes", statBankSearchProbes);
+    statGroup.addCounter("ss_probes", statSsProbes);
+    statGroup.addCounter("false_partial_hits", statFalsePartialHits);
+    statGroup.addCounter("bank_wait_cycles", statBankWaitCycles);
+}
+
+std::uint32_t
+DNucaCache::setOf(Addr block) const
+{
+    return static_cast<std::uint32_t>(
+        (block / p.block_bytes) & (sets - 1));
+}
+
+Addr
+DNucaCache::tagOf(Addr block) const
+{
+    return block / p.block_bytes / sets;
+}
+
+std::uint32_t
+DNucaCache::colOf(std::uint32_t set) const
+{
+    return set & (p.cols - 1);
+}
+
+std::uint32_t
+DNucaCache::rowOfWay(std::uint32_t way) const
+{
+    return way / waysPerRow;
+}
+
+DNucaCache::Line &
+DNucaCache::line(std::uint32_t set, std::uint32_t way)
+{
+    return lines[std::size_t{set} * p.assoc + way];
+}
+
+void
+DNucaCache::touch(std::uint32_t set, std::uint32_t way)
+{
+    stamps[std::size_t{set} * p.assoc + way] = ++clock;
+}
+
+std::uint32_t
+DNucaCache::lruWayInRow(std::uint32_t set, std::uint32_t row) const
+{
+    const std::uint32_t first = row * waysPerRow;
+    std::uint32_t best = first;
+    for (std::uint32_t w = first; w < first + waysPerRow; ++w) {
+        const std::size_t idx = std::size_t{set} * p.assoc + w;
+        if (!lines[idx].valid)
+            return w;
+        if (stamps[idx] < stamps[std::size_t{set} * p.assoc + best])
+            best = w;
+    }
+    return best;
+}
+
+Cycle
+DNucaCache::acquireBank(std::uint32_t row, std::uint32_t col, Cycle at,
+                        Cycles busy)
+{
+    Cycle &free = bankFree[std::size_t{row} * p.cols + col];
+    const Cycle start = std::max(at, free);
+    statBankWaitCycles += start - at;
+    free = start + (busy ? busy : times.bank_busy);
+    return start;
+}
+
+LowerMemory::Result
+DNucaCache::access(Addr addr, AccessType type, Cycle now)
+{
+    const Addr block = blockAlign(addr, p.block_bytes);
+    const bool is_writeback = type == AccessType::Writeback;
+    const bool is_write = type == AccessType::Write || is_writeback;
+
+    if (is_writeback)
+        ++statWritebackAccesses;
+    else
+        ++statDemandAccesses;
+
+    const std::uint32_t set = setOf(block);
+    const std::uint32_t col = colOf(set);
+    const Addr tag = tagOf(block);
+    const Addr partial = tag & partialMask;
+
+    // Ground truth: which way (if any) holds the block, and which rows
+    // the smart-search array would flag as partial-tag matches.
+    std::uint32_t hit_way = p.assoc;
+    bool row_matches[32] = {};
+    panic_if(p.rows > 32, "bank row count exceeds match bitmap");
+    for (std::uint32_t w = 0; w < p.assoc; ++w) {
+        const Line &l = lines[std::size_t{set} * p.assoc + w];
+        if (!l.valid)
+            continue;
+        if (l.tag == tag)
+            hit_way = w;
+        if ((l.tag & partialMask) == partial)
+            row_matches[rowOfWay(w)] = true;
+    }
+    const bool any_partial = std::any_of(row_matches,
+                                         row_matches + p.rows,
+                                         [](bool b) { return b; });
+
+    Result result;
+    Cycles lookup_lat = 0;
+
+    if (p.search == DNucaSearch::SsEnergy) {
+        // Probe the smart-search array, then walk only the banks whose
+        // partial tags matched, closest first, until the real hit.
+        ++statSsProbes;
+        cacheEnergy += times.ss_access_nj;
+        lookup_lat = times.ss_latency;
+        const std::uint32_t hit_row =
+            hit_way < p.assoc ? rowOfWay(hit_way) : p.rows;
+        for (std::uint32_t r = 0; r < p.rows; ++r) {
+            if (!row_matches[r])
+                continue;
+            ++statBankDataAccesses;
+            cacheEnergy += times.bank(r, col).access_nj;
+            const Cycle start = acquireBank(r, col, now + lookup_lat);
+            lookup_lat = static_cast<Cycles>(start - now) +
+                times.bank(r, col).latency;
+            if (r == hit_row)
+                break;
+            ++statFalsePartialHits;
+        }
+    } else {
+        // Multicast search: every bank of the bank set performs its
+        // parallel tag+data access (the data read starts with the tag
+        // compare — this is what makes multicast searching so
+        // energy-hungry); the owner returns the data at its latency.
+        for (std::uint32_t r = 0; r < p.rows; ++r) {
+            ++statBankSearchProbes;
+            ++statBankDataAccesses;
+            cacheEnergy += times.bank(r, col).access_nj;
+            acquireBank(r, col, now);
+        }
+        if (p.search == DNucaSearch::SsPerformance) {
+            ++statSsProbes;
+            cacheEnergy += times.ss_access_nj;
+        }
+        if (hit_way < p.assoc) {
+            const std::uint32_t r = rowOfWay(hit_way);
+            // The owning bank's access was issued by the multicast
+            // above; the reply returns at that bank's latency (plus
+            // any wait the occupied bank imposed).
+            const Cycle start = acquireBank(r, col, now);
+            lookup_lat = static_cast<Cycles>(start - now) +
+                times.bank(r, col).latency;
+        } else if (p.search == DNucaSearch::SsPerformance && !any_partial) {
+            // Early miss determination from the smart-search array.
+            lookup_lat = times.ss_latency;
+        } else {
+            // Miss resolved only when the slowest searched bank replies.
+            if (any_partial)
+                ++statFalsePartialHits;
+            lookup_lat = times.maxLatencyOfMB(p.rows - 1);
+        }
+    }
+
+    if (hit_way < p.assoc) {
+        const std::uint32_t r = rowOfWay(hit_way);
+        if (!is_writeback) {
+            ++statHits;
+            regionHist.sample(r);
+        }
+        touch(set, hit_way);
+        if (is_write)
+            line(set, hit_way).dirty = true;
+
+        // Bubble promotion: swap with a block one bank closer (demand
+        // hits only; L1 writebacks update in place).
+        if (p.promote_on_hit && r > 0 && !is_writeback) {
+            const std::uint32_t victim = lruWayInRow(set, r - 1);
+            std::swap(line(set, hit_way), line(set, victim));
+            std::swap(stamps[std::size_t{set} * p.assoc + hit_way],
+                      stamps[std::size_t{set} * p.assoc + victim]);
+            ++statPromotions;
+            statBlockMoves += 2;
+            statBankDataAccesses += 4;
+            cacheEnergy += times.swapEnergy(r - 1, r, col);
+            // Both banks stay occupied while the two blocks are in
+            // flight; closely-following accesses to either (e.g. the
+            // next sector of a streaming L2 block) must wait — the
+            // bandwidth cost of bubble promotion the paper calls out.
+            const Cycles sb = times.swapBusy(r - 1, r, col);
+            acquireBank(r, col, now + lookup_lat, sb);
+            acquireBank(r - 1, col, now + lookup_lat, sb);
+        }
+
+        result.hit = true;
+        result.latency = is_writeback ? 0 : lookup_lat;
+        return result;
+    }
+
+    // Miss path.
+    if (!is_writeback)
+        ++statMisses;
+
+    // Prefer an invalid way (slowest rows first); otherwise evict the
+    // slowest way of the set — which need not be the set-LRU block.
+    std::uint32_t dest_way = p.assoc;
+    for (std::uint32_t r = p.rows; r-- > 0 && dest_way == p.assoc;) {
+        const std::uint32_t first = r * waysPerRow;
+        for (std::uint32_t w = first; w < first + waysPerRow; ++w) {
+            if (!line(set, w).valid) {
+                dest_way = w;
+                break;
+            }
+        }
+    }
+    if (dest_way == p.assoc) {
+        dest_way = lruWayInRow(set, p.rows - 1);
+        Line &v = line(set, dest_way);
+        ++statEvictions;
+        ++statBankDataAccesses;
+        cacheEnergy += times.bank(p.rows - 1, col).access_nj;
+        if (v.dirty)
+            mem.write(p.block_bytes);
+        v.valid = false;
+    }
+
+    const std::uint32_t dest_row = rowOfWay(dest_way);
+    Line &d = line(set, dest_way);
+    d.tag = tag;
+    d.valid = true;
+    d.dirty = is_write;
+    touch(set, dest_way);
+    ++statBankDataAccesses;
+    cacheEnergy += times.bank(dest_row, col).access_nj;
+
+    const Cycles mem_lat = mem.read(p.block_bytes);
+    acquireBank(dest_row, col, now + lookup_lat + mem_lat);
+
+    result.hit = false;
+    result.latency = is_writeback ? 0 : lookup_lat + mem_lat;
+    return result;
+}
+
+EnergyNJ
+DNucaCache::dynamicEnergyNJ() const
+{
+    return cacheEnergy + mem.dynamicEnergyNJ();
+}
+
+void
+DNucaCache::resetStats()
+{
+    statGroup.resetAll();
+    mem.resetStats();
+    regionHist.reset();
+    cacheEnergy = 0;
+}
+
+} // namespace nurapid

@@ -1,0 +1,113 @@
+#include "nuca/snuca.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+SNucaCache::SNucaCache(const SramMacroModel &model, const Params &params)
+    : p(params),
+      times(makeDNucaTiming(model, p.capacity_bytes, p.rows, p.cols,
+                            p.block_bytes)),
+      bankFree(std::size_t{p.rows} * p.cols, 0),
+      mem(p.memory), statGroup(p.name), regionHist(p.rows)
+{
+    const std::uint64_t bank_bytes =
+        p.capacity_bytes / (std::uint64_t{p.rows} * p.cols);
+    fatal_if(bank_bytes < p.assoc * p.block_bytes,
+             "S-NUCA banks too small for the configured associativity");
+    banks.reserve(std::size_t{p.rows} * p.cols);
+    for (std::uint32_t b = 0; b < p.rows * p.cols; ++b) {
+        banks.emplace_back(CacheOrg{
+            strprintf("%s.bank%u", p.name.c_str(), b), bank_bytes,
+            p.assoc, p.block_bytes, ReplPolicy::LRU, b + 1});
+    }
+
+    statGroup.addCounter("demand_accesses", statDemandAccesses);
+    statGroup.addCounter("writeback_accesses", statWritebackAccesses);
+    statGroup.addCounter("hits", statHits);
+    statGroup.addCounter("misses", statMisses);
+    statGroup.addCounter("bank_wait_cycles", statBankWaitCycles);
+}
+
+std::uint32_t
+SNucaCache::bankOf(Addr block) const
+{
+    // Low block-address bits select the bank (row-major), spreading
+    // consecutive blocks across banks — the standard S-NUCA mapping.
+    return static_cast<std::uint32_t>(
+        (block / p.block_bytes) % (p.rows * p.cols));
+}
+
+LowerMemory::Result
+SNucaCache::access(Addr addr, AccessType type, Cycle now)
+{
+    const Addr block = blockAlign(addr, p.block_bytes);
+    const bool is_writeback = type == AccessType::Writeback;
+    const bool is_write = type == AccessType::Write || is_writeback;
+
+    if (is_writeback)
+        ++statWritebackAccesses;
+    else
+        ++statDemandAccesses;
+
+    const std::uint32_t bank_idx = bankOf(block);
+    const std::uint32_t row = bank_idx / p.cols;
+    const std::uint32_t col = bank_idx % p.cols;
+
+    // Bank occupancy (S-NUCA is multibanked like D-NUCA).
+    Cycle &free = bankFree[bank_idx];
+    const Cycle start = std::max(now, free);
+    statBankWaitCycles += start - now;
+    free = start + times.bank_busy;
+
+    cacheEnergy += times.bank(row, col).access_nj;
+
+    auto r = banks[bank_idx].access(block, is_write);
+    if (r.evicted && r.evicted_dirty)
+        mem.write(p.block_bytes);
+
+    Result result;
+    const auto wait = static_cast<Cycles>(start - now);
+    if (r.hit) {
+        if (!is_writeback) {
+            ++statHits;
+            regionHist.sample(row);
+        }
+        result.hit = true;
+        result.latency =
+            is_writeback ? 0 : wait + times.bank(row, col).latency;
+    } else {
+        if (!is_writeback)
+            ++statMisses;
+        const Cycles mem_lat = mem.read(p.block_bytes);
+        cacheEnergy += times.bank(row, col).access_nj;  // fill write
+        result.hit = false;
+        // The miss is known once the addressed bank's tags reply.
+        result.latency = is_writeback
+            ? 0
+            : wait + times.bank(row, col).latency + mem_lat;
+    }
+    return result;
+}
+
+EnergyNJ
+SNucaCache::dynamicEnergyNJ() const
+{
+    return cacheEnergy + mem.dynamicEnergyNJ();
+}
+
+void
+SNucaCache::resetStats()
+{
+    statGroup.resetAll();
+    for (auto &b : banks)
+        b.stats().resetAll();
+    mem.resetStats();
+    regionHist.reset();
+    cacheEnergy = 0;
+}
+
+} // namespace nurapid

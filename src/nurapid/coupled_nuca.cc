@@ -1,0 +1,242 @@
+#include "nurapid/coupled_nuca.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+CoupledNucaCache::CoupledNucaCache(const SramMacroModel &model,
+                                   const Params &params)
+    : p(params),
+      times(makeNuRapidTiming(model, p.capacity_bytes, p.num_dgroups,
+                              p.assoc, p.block_bytes)),
+      sets(static_cast<std::uint32_t>(
+          p.capacity_bytes / (std::uint64_t{p.assoc} * p.block_bytes))),
+      waysPerGroup(p.assoc / p.num_dgroups),
+      lines(std::size_t{sets} * p.assoc),
+      stamps(std::size_t{sets} * p.assoc, 0),
+      mem(p.memory), statGroup(p.name), regionHist(p.num_dgroups)
+{
+    fatal_if(p.assoc % p.num_dgroups != 0,
+             "associativity %u not divisible across %u d-groups",
+             p.assoc, p.num_dgroups);
+    fatal_if(!isPowerOf2(sets), "set count %u not a power of two", sets);
+
+    statGroup.addCounter("demand_accesses", statDemandAccesses);
+    statGroup.addCounter("writeback_accesses", statWritebackAccesses);
+    statGroup.addCounter("hits", statHits);
+    statGroup.addCounter("misses", statMisses);
+    statGroup.addCounter("evictions", statEvictions);
+    statGroup.addCounter("promotions", statPromotions);
+    statGroup.addCounter("demotions", statDemotions);
+    statGroup.addCounter("block_moves", statBlockMoves);
+    statGroup.addCounter("dgroup_accesses", statDGroupAccesses);
+}
+
+std::uint32_t
+CoupledNucaCache::groupOfWay(std::uint32_t way) const
+{
+    return way / waysPerGroup;
+}
+
+CoupledNucaCache::Line &
+CoupledNucaCache::line(std::uint32_t set, std::uint32_t way)
+{
+    return lines[std::size_t{set} * p.assoc + way];
+}
+
+void
+CoupledNucaCache::touch(std::uint32_t set, std::uint32_t way)
+{
+    stamps[std::size_t{set} * p.assoc + way] = ++clock;
+}
+
+std::uint32_t
+CoupledNucaCache::lruWayInGroup(std::uint32_t set,
+                                std::uint32_t group) const
+{
+    const std::uint32_t first = group * waysPerGroup;
+    std::uint32_t best = first;
+    for (std::uint32_t w = first; w < first + waysPerGroup; ++w) {
+        const std::size_t idx = std::size_t{set} * p.assoc + w;
+        if (!lines[idx].valid)
+            return w;
+        if (stamps[idx] < stamps[std::size_t{set} * p.assoc + best])
+            best = w;
+    }
+    return best;
+}
+
+LowerMemory::Result
+CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
+{
+    const Addr block = blockAlign(addr, p.block_bytes);
+    const bool is_writeback = type == AccessType::Writeback;
+    const bool is_write = type == AccessType::Write || is_writeback;
+
+    if (is_writeback)
+        ++statWritebackAccesses;
+    else
+        ++statDemandAccesses;
+
+    // Demand accesses contend for the single port; L1 writebacks drain
+    // from a writeback buffer through idle slots.
+    Cycle start = now;
+    if (p.single_port && !is_writeback)
+        start = std::max(now, portFree);
+    Cycles busy = 0;
+
+    cacheEnergy += times.tag_read_nj;
+
+    const std::uint32_t set = static_cast<std::uint32_t>(
+        (block / p.block_bytes) & (sets - 1));
+    const Addr tag = block / p.block_bytes / sets;
+
+    // Tag probe across all ways.
+    std::uint32_t hit_way = p.assoc;
+    for (std::uint32_t w = 0; w < p.assoc; ++w) {
+        Line &l = line(set, w);
+        if (l.valid && l.tag == tag) {
+            hit_way = w;
+            break;
+        }
+    }
+
+    Result result;
+    if (hit_way < p.assoc) {
+        const std::uint32_t g = groupOfWay(hit_way);
+        ++statDGroupAccesses;
+        if (!is_writeback) {
+            ++statHits;
+            regionHist.sample(g);
+        }
+        touch(set, hit_way);
+        if (is_write)
+            line(set, hit_way).dirty = true;
+        cacheEnergy += is_write ? times.dgroups[g].data_write_nj
+                                : times.dgroups[g].data_read_nj;
+        busy = times.port_cycle;
+
+        // Promotion is a swap *within the set*: the coupled layout can
+        // only exchange our block with a way of the faster d-group.
+        // (L1 writebacks update in place.)
+        if (g > 0 && !is_writeback &&
+            p.promotion != PromotionPolicy::DemotionOnly) {
+            const std::uint32_t tgt_group =
+                p.promotion == PromotionPolicy::NextFastest ? g - 1 : 0;
+            const std::uint32_t victim = lruWayInGroup(set, tgt_group);
+            std::swap(line(set, hit_way), line(set, victim));
+            std::swap(stamps[std::size_t{set} * p.assoc + hit_way],
+                      stamps[std::size_t{set} * p.assoc + victim]);
+            ++statPromotions;
+            ++statDemotions;
+            statBlockMoves += 2;
+            statDGroupAccesses += 4;
+            busy += times.swapBusy(g, tgt_group);
+            cacheEnergy += 2.0 * times.swapEnergy(g, tgt_group);
+        }
+
+        result.hit = true;
+        result.latency = is_writeback
+            ? 0
+            : static_cast<Cycles>(start - now) +
+                times.dgroups[g].total_latency;
+    } else {
+        if (!is_writeback)
+            ++statMisses;
+
+        // Data replacement: evict the set-LRU block, freeing its way.
+        std::uint32_t victim = 0;
+        bool found_invalid = false;
+        for (std::uint32_t w = 0; w < p.assoc; ++w) {
+            if (!line(set, w).valid) {
+                victim = w;
+                found_invalid = true;
+                break;
+            }
+        }
+        if (!found_invalid) {
+            victim = 0;
+            for (std::uint32_t w = 1; w < p.assoc; ++w) {
+                if (stamps[std::size_t{set} * p.assoc + w] <
+                        stamps[std::size_t{set} * p.assoc + victim]) {
+                    victim = w;
+                }
+            }
+        }
+        Line &v = line(set, victim);
+        if (v.valid) {
+            ++statEvictions;
+            ++statDGroupAccesses;
+            cacheEnergy +=
+                times.dgroups[groupOfWay(victim)].data_read_nj;
+            if (v.dirty)
+                mem.write(p.block_bytes);
+            v.valid = false;
+        }
+
+        // Initial placement in the fastest d-group: bubble existing
+        // blocks outward, group by group, until the freed way absorbs
+        // one (same mechanics as D-NUCA's bubble replacement).
+        const std::uint32_t free_group = groupOfWay(victim);
+        std::uint32_t hole = victim;
+        for (std::uint32_t g = free_group; g-- > 0;) {
+            const std::uint32_t w = lruWayInGroup(set, g);
+            if (!line(set, w).valid) {
+                // A free way closer in: restart the bubble from here.
+                hole = w;
+                continue;
+            }
+            // Demote g's LRU occupant one d-group outward into the hole.
+            line(set, hole) = line(set, w);
+            stamps[std::size_t{set} * p.assoc + hole] =
+                stamps[std::size_t{set} * p.assoc + w];
+            line(set, w).valid = false;
+            ++statDemotions;
+            ++statBlockMoves;
+            statDGroupAccesses += 2;
+            busy += times.swapBusy(g, groupOfWay(hole));
+            cacheEnergy += times.swapEnergy(g, groupOfWay(hole));
+            hole = w;
+        }
+
+        Line &dest = line(set, hole);
+        dest.tag = tag;
+        dest.valid = true;
+        dest.dirty = is_write;
+        touch(set, hole);
+        ++statDGroupAccesses;
+        cacheEnergy += times.tag_write_nj + times.dgroups[0].data_write_nj;
+        busy += times.port_cycle;
+
+        const Cycles mem_lat = mem.read(p.block_bytes);
+        result.hit = false;
+        result.latency = is_writeback
+            ? 0
+            : static_cast<Cycles>(start - now) + times.tag_latency +
+                mem_lat;
+    }
+
+    if (p.single_port && !is_writeback)
+        portFree = start + busy;
+    return result;
+}
+
+EnergyNJ
+CoupledNucaCache::dynamicEnergyNJ() const
+{
+    return cacheEnergy + mem.dynamicEnergyNJ();
+}
+
+void
+CoupledNucaCache::resetStats()
+{
+    statGroup.resetAll();
+    mem.resetStats();
+    regionHist.reset();
+    cacheEnergy = 0;
+}
+
+} // namespace nurapid

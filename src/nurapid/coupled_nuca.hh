@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The set-associative-placement non-uniform cache of Figure 4 ("a" bars).
+ *
+ * Same d-group geometry as NuRAPID, but tag and data placement stay
+ * coupled: with an 8-way cache over 4 d-groups, exactly two specific
+ * ways of every set live in each d-group. To isolate the placement
+ * effect, the paper gives this cache NuRAPID's *initial placement in
+ * the fastest d-group* and the *next-fastest promotion* policy, with
+ * bubble-style swaps confined to the set (Section 5.2.1).
+ */
+
+#ifndef NURAPID_NURAPID_COUPLED_NUCA_HH
+#define NURAPID_NURAPID_COUPLED_NUCA_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/lower_memory.hh"
+#include "mem/main_memory.hh"
+#include "nurapid/policies.hh"
+#include "timing/latency_tables.hh"
+
+namespace nurapid {
+
+class CoupledNucaCache : public LowerMemory
+{
+  public:
+    struct Params
+    {
+        std::string name = "sa-placement";
+        std::uint64_t capacity_bytes = 8ull << 20;
+        std::uint32_t assoc = 8;
+        std::uint32_t block_bytes = 128;
+        std::uint32_t num_dgroups = 4;
+        PromotionPolicy promotion = PromotionPolicy::NextFastest;
+        bool single_port = true;
+        MainMemory::Params memory{};
+    };
+
+    CoupledNucaCache(const SramMacroModel &model, const Params &params);
+
+    Result access(Addr addr, AccessType type, Cycle now) override;
+
+    EnergyNJ dynamicEnergyNJ() const override;
+    EnergyNJ cacheEnergyNJ() const override { return cacheEnergy; }
+    const std::string &name() const override { return p.name; }
+    StatGroup &stats() override { return statGroup; }
+    const Histogram &regionHits() const override { return regionHist; }
+    void resetStats() override;
+
+    MainMemory &memory() { return mem; }
+    const NuRapidTiming &timing() const { return times; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint32_t groupOfWay(std::uint32_t way) const;
+    std::uint32_t lruWayInGroup(std::uint32_t set,
+                                std::uint32_t group) const;
+    Line &line(std::uint32_t set, std::uint32_t way);
+    void touch(std::uint32_t set, std::uint32_t way);
+
+    Params p;
+    NuRapidTiming times;
+    std::uint32_t sets;
+    std::uint32_t waysPerGroup;
+    std::vector<Line> lines;
+    std::vector<std::uint64_t> stamps;
+    std::uint64_t clock = 0;
+    MainMemory mem;
+    Cycle portFree = 0;
+    EnergyNJ cacheEnergy = 0;
+
+    StatGroup statGroup;
+    Counter statDemandAccesses;
+    Counter statWritebackAccesses;
+    Counter statHits;
+    Counter statMisses;
+    Counter statEvictions;
+    Counter statPromotions;
+    Counter statDemotions;
+    Counter statBlockMoves;
+    Counter statDGroupAccesses;
+    Histogram regionHist;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_NURAPID_COUPLED_NUCA_HH

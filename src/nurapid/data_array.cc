@@ -1,0 +1,211 @@
+#include "nurapid/data_array.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace nurapid {
+
+DataArray::DataArray(std::uint32_t num_groups,
+                     std::uint32_t frames_per_group,
+                     std::uint32_t num_regions, DistanceRepl repl,
+                     std::uint64_t seed)
+    : nGroups(num_groups), nFrames(frames_per_group), nRegions(num_regions),
+      framesPerRegion(frames_per_group / num_regions), replPolicy(repl),
+      rng(seed),
+      frames(std::size_t{num_groups} * frames_per_group),
+      nodes(std::size_t{num_groups} * frames_per_group),
+      lists(std::size_t{num_groups} * num_regions)
+{
+    fatal_if(num_groups == 0 || frames_per_group == 0,
+             "empty data array");
+    fatal_if(num_regions == 0 || frames_per_group % num_regions != 0,
+             "frames per d-group (%u) not divisible into %u regions",
+             frames_per_group, num_regions);
+    // Pre-populate free lists: every frame starts free.
+    for (std::uint32_t g = 0; g < nGroups; ++g) {
+        for (std::uint32_t f = 0; f < nFrames; ++f)
+            region(g, f / framesPerRegion).free.push_back(f);
+    }
+    if (replPolicy == DistanceRepl::TreePLRU) {
+        fatal_if(framesPerRegion < 2,
+                 "tree-PLRU distance replacement needs at least two "
+                 "frames per region");
+        for (std::uint32_t g = 0; g < nGroups; ++g) {
+            plru.push_back(std::make_unique<TreePlruReplacer>(
+                nRegions, framesPerRegion));
+        }
+    }
+}
+
+std::uint32_t
+DataArray::regionOf(Addr block_index) const
+{
+    if (nRegions == 1)
+        return 0;
+    // Knuth multiplicative hash spreads consecutive blocks (and the
+    // blocks of one hot set) across regions.
+    const std::uint64_t h = block_index * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::uint32_t>((h >> 32) % nRegions);
+}
+
+std::uint32_t
+DataArray::regionOfFrame(std::uint32_t f) const
+{
+    return f / framesPerRegion;
+}
+
+DataArray::RegionList &
+DataArray::region(std::uint32_t group, std::uint32_t region_idx)
+{
+    return lists[std::size_t{group} * nRegions + region_idx];
+}
+
+bool
+DataArray::hasFree(std::uint32_t group, std::uint32_t region_idx) const
+{
+    const RegionList &r =
+        lists[std::size_t{group} * nRegions + region_idx];
+    return !r.free.empty();
+}
+
+std::uint32_t
+DataArray::allocFrame(std::uint32_t group, std::uint32_t region_idx)
+{
+    RegionList &r = region(group, region_idx);
+    panic_if(r.free.empty(), "allocFrame on full region %u of d-group %u",
+             region_idx, group);
+    const std::uint32_t f = r.free.back();
+    r.free.pop_back();
+    return f;
+}
+
+std::uint32_t
+DataArray::victimFrame(std::uint32_t group, std::uint32_t region_idx)
+{
+    RegionList &r = region(group, region_idx);
+    panic_if(!r.free.empty(),
+             "victimFrame called while region %u of d-group %u has free "
+             "frames", region_idx, group);
+    if (replPolicy == DistanceRepl::LRU) {
+        panic_if(r.tail == kNoFrame, "LRU victim in empty region");
+        return r.tail;
+    }
+    if (replPolicy == DistanceRepl::TreePLRU) {
+        return region_idx * framesPerRegion +
+            plru[group]->victim(region_idx);
+    }
+    // Random: the region is full, so any frame in it is a valid victim.
+    return region_idx * framesPerRegion + rng.below(framesPerRegion);
+}
+
+void
+DataArray::place(std::uint32_t group, std::uint32_t f, std::uint32_t set,
+                 std::uint32_t way)
+{
+    Frame &fr = frame(group, f);
+    panic_if(fr.valid, "placing into occupied frame %u of d-group %u",
+             f, group);
+    fr.valid = true;
+    fr.set = set;
+    fr.way = static_cast<std::uint16_t>(way);
+    linkFront(group, f);
+}
+
+void
+DataArray::remove(std::uint32_t group, std::uint32_t f)
+{
+    Frame &fr = frame(group, f);
+    panic_if(!fr.valid, "removing invalid frame %u of d-group %u",
+             f, group);
+    fr.valid = false;
+    unlink(group, f);
+    region(group, regionOfFrame(f)).free.push_back(f);
+}
+
+void
+DataArray::swapFrames(std::uint32_t group_a, std::uint32_t frame_a,
+                      std::uint32_t group_b, std::uint32_t frame_b)
+{
+    Frame &a = frame(group_a, frame_a);
+    Frame &b = frame(group_b, frame_b);
+    panic_if(!a.valid || !b.valid, "swapping with an invalid frame");
+    std::swap(a.set, b.set);
+    std::swap(a.way, b.way);
+    touch(group_a, frame_a);
+    touch(group_b, frame_b);
+}
+
+void
+DataArray::touch(std::uint32_t group, std::uint32_t f)
+{
+    panic_if(!frame(group, f).valid, "touching invalid frame");
+    unlink(group, f);
+    linkFront(group, f);
+    if (replPolicy == DistanceRepl::TreePLRU)
+        plru[group]->touch(regionOfFrame(f), f % framesPerRegion);
+}
+
+DataArray::Frame &
+DataArray::frame(std::uint32_t group, std::uint32_t f)
+{
+    panic_if(group >= nGroups || f >= nFrames,
+             "frame (%u, %u) out of range", group, f);
+    return frames[std::size_t{group} * nFrames + f];
+}
+
+const DataArray::Frame &
+DataArray::frame(std::uint32_t group, std::uint32_t f) const
+{
+    panic_if(group >= nGroups || f >= nFrames,
+             "frame (%u, %u) out of range", group, f);
+    return frames[std::size_t{group} * nFrames + f];
+}
+
+void
+DataArray::unlink(std::uint32_t group, std::uint32_t f)
+{
+    Node &n = nodes[std::size_t{group} * nFrames + f];
+    if (!n.linked)
+        return;
+    RegionList &r = region(group, regionOfFrame(f));
+    const std::size_t base = std::size_t{group} * nFrames;
+    if (n.prev != kNoFrame)
+        nodes[base + n.prev].next = n.next;
+    else
+        r.head = n.next;
+    if (n.next != kNoFrame)
+        nodes[base + n.next].prev = n.prev;
+    else
+        r.tail = n.prev;
+    n.prev = n.next = kNoFrame;
+    n.linked = false;
+}
+
+void
+DataArray::linkFront(std::uint32_t group, std::uint32_t f)
+{
+    Node &n = nodes[std::size_t{group} * nFrames + f];
+    panic_if(n.linked, "frame %u already linked", f);
+    RegionList &r = region(group, regionOfFrame(f));
+    const std::size_t base = std::size_t{group} * nFrames;
+    n.prev = kNoFrame;
+    n.next = r.head;
+    if (r.head != kNoFrame)
+        nodes[base + r.head].prev = f;
+    r.head = f;
+    if (r.tail == kNoFrame)
+        r.tail = f;
+    n.linked = true;
+}
+
+std::uint64_t
+DataArray::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const Frame &f : frames)
+        n += f.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace nurapid

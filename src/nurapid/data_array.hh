@@ -1,0 +1,131 @@
+/**
+ * @file
+ * NuRAPID's distance-associative data arrays.
+ *
+ * The data side is organized as a few large d-groups, each a pool of
+ * block frames. Any number of blocks from one set may sit in one
+ * d-group. Every frame carries a *reverse pointer* (set, way) back to
+ * its tag entry so demotions can update forward pointers (Section 2.2,
+ * Figure 2).
+ *
+ * Section 2.4.3's pointer-restriction option is modeled by statically
+ * partitioning each d-group's frames into *regions*; a block may only
+ * occupy frames of the region its address hashes to, which shortens the
+ * forward/reverse pointers. The unrestricted cache is the special case
+ * of a single region.
+ */
+
+#ifndef NURAPID_NURAPID_DATA_ARRAY_HH
+#define NURAPID_NURAPID_DATA_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "mem/replacement.hh"
+#include "nurapid/policies.hh"
+
+namespace nurapid {
+
+class DataArray
+{
+  public:
+    struct Frame
+    {
+        std::uint32_t set = 0;   //!< reverse pointer: tag set
+        std::uint16_t way = 0;   //!< reverse pointer: tag way
+        bool valid = false;
+    };
+
+    static constexpr std::uint32_t kNoFrame = 0xffffffff;
+
+    DataArray(std::uint32_t num_groups, std::uint32_t frames_per_group,
+              std::uint32_t num_regions, DistanceRepl repl,
+              std::uint64_t seed);
+
+    /** Region a block address maps to (hash of its block index). */
+    std::uint32_t regionOf(Addr block_index) const;
+
+    /** True if (group, region) has a free frame. */
+    bool hasFree(std::uint32_t group, std::uint32_t region) const;
+
+    /** Pops a free frame of (group, region); panics if none. */
+    std::uint32_t allocFrame(std::uint32_t group, std::uint32_t region);
+
+    /**
+     * Nominates a distance-replacement victim among the valid frames of
+     * (group, region): the region-LRU frame under DistanceRepl::LRU, a
+     * uniformly random frame under DistanceRepl::Random. Must only be
+     * called when the region has no free frame.
+     */
+    std::uint32_t victimFrame(std::uint32_t group, std::uint32_t region);
+
+    /** Fills @p frame with the block of tag entry (set, way). */
+    void place(std::uint32_t group, std::uint32_t frame, std::uint32_t set,
+               std::uint32_t way);
+
+    /** Invalidates @p frame and returns it to the free pool. */
+    void remove(std::uint32_t group, std::uint32_t frame);
+
+    /**
+     * Exchanges the blocks held by two (valid) frames — the data-array
+     * half of a promotion/demotion swap. Both blocks become MRU in
+     * their new d-groups. Free lists are untouched.
+     */
+    void swapFrames(std::uint32_t group_a, std::uint32_t frame_a,
+                    std::uint32_t group_b, std::uint32_t frame_b);
+
+    /** Records a use of @p frame for region-LRU ordering. */
+    void touch(std::uint32_t group, std::uint32_t frame);
+
+    Frame &frame(std::uint32_t group, std::uint32_t f);
+    const Frame &frame(std::uint32_t group, std::uint32_t f) const;
+
+    std::uint32_t numGroups() const { return nGroups; }
+    std::uint32_t framesPerGroup() const { return nFrames; }
+    std::uint32_t numRegions() const { return nRegions; }
+    std::uint32_t regionOfFrame(std::uint32_t f) const;
+
+    /** Valid-frame count (for invariant checks in tests). */
+    std::uint64_t validCount() const;
+
+  private:
+    struct RegionList
+    {
+        std::uint32_t head = kNoFrame;  //!< MRU frame
+        std::uint32_t tail = kNoFrame;  //!< LRU frame
+        std::vector<std::uint32_t> free;
+    };
+
+    struct Node
+    {
+        std::uint32_t prev = kNoFrame;
+        std::uint32_t next = kNoFrame;
+        bool linked = false;
+    };
+
+    RegionList &region(std::uint32_t group, std::uint32_t region_idx);
+    void unlink(std::uint32_t group, std::uint32_t f);
+    void linkFront(std::uint32_t group, std::uint32_t f);
+
+    std::uint32_t nGroups;
+    std::uint32_t nFrames;
+    std::uint32_t nRegions;
+    std::uint32_t framesPerRegion;
+    DistanceRepl replPolicy;
+    Rng rng;
+
+    std::vector<Frame> frames;      //!< [group * nFrames + frame]
+    std::vector<Node> nodes;        //!< LRU chain per frame
+    std::vector<RegionList> lists;  //!< [group * nRegions + region]
+    /** Per-group tree-PLRU state (regions as sets, frames as ways);
+     *  only allocated under DistanceRepl::TreePLRU. */
+    std::vector<std::unique_ptr<TreePlruReplacer>> plru;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_NURAPID_DATA_ARRAY_HH

@@ -1,0 +1,326 @@
+#include "nurapid/nurapid_cache.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+NuRapidCache::NuRapidCache(const SramMacroModel &model, const Params &params)
+    : p(params),
+      times(makeNuRapidTiming(model, p.capacity_bytes, p.num_dgroups,
+                              p.assoc, p.block_bytes)),
+      tagArray(p.capacity_bytes, p.assoc, p.block_bytes),
+      dataArray(p.num_dgroups,
+                static_cast<std::uint32_t>(
+                    p.capacity_bytes / p.num_dgroups / p.block_bytes),
+                p.frame_restriction == 0
+                    ? 1
+                    : static_cast<std::uint32_t>(
+                          p.capacity_bytes / p.num_dgroups / p.block_bytes /
+                          p.frame_restriction),
+                p.distance_repl, p.seed),
+      mem(p.memory), statGroup(p.name), regionHist(p.num_dgroups)
+{
+    fatal_if(p.frame_restriction != 0 &&
+                 (p.capacity_bytes / p.num_dgroups / p.block_bytes) %
+                         p.frame_restriction != 0,
+             "frame restriction %u does not divide the d-group frame "
+             "count", p.frame_restriction);
+
+    statGroup.addCounter("demand_accesses", statDemandAccesses);
+    statGroup.addCounter("writeback_accesses", statWritebackAccesses);
+    statGroup.addCounter("hits", statHits);
+    statGroup.addCounter("misses", statMisses);
+    statGroup.addCounter("evictions", statEvictions);
+    statGroup.addCounter("dirty_evictions", statDirtyEvictions);
+    statGroup.addCounter("promotions", statPromotions);
+    statGroup.addCounter("demotions", statDemotions);
+    statGroup.addCounter("block_moves", statBlockMoves);
+    statGroup.addCounter("dgroup_accesses", statDGroupAccesses);
+    statGroup.addCounter("tag_probes", statTagProbes);
+    statGroup.addCounter("restriction_evictions",
+                         statRestrictionEvictions);
+    statGroup.addCounter("port_wait_cycles", statPortWaitCycles);
+}
+
+void
+NuRapidCache::moveBlock(std::uint32_t group, std::uint32_t frame,
+                        std::uint32_t dest_group, std::uint32_t dest_frame)
+{
+    const DataArray::Frame &src = dataArray.frame(group, frame);
+    panic_if(!src.valid, "moving an invalid frame");
+    const std::uint32_t set = src.set;
+    const std::uint32_t way = src.way;
+
+    dataArray.remove(group, frame);
+    dataArray.place(dest_group, dest_frame, set, way);
+
+    TagArray::Entry &e = tagArray.entry(set, way);
+    panic_if(!e.valid || e.group != group || e.frame != frame,
+             "forward/reverse pointer mismatch during move");
+    e.group = static_cast<std::uint8_t>(dest_group);
+    e.frame = dest_frame;
+
+    ++statBlockMoves;
+    statDGroupAccesses += 2;  // read at source + write at destination
+}
+
+std::uint32_t
+NuRapidCache::ensureFree(std::uint32_t group, std::uint32_t region,
+                         Cycles &busy)
+{
+    if (dataArray.hasFree(group, region))
+        return dataArray.allocFrame(group, region);
+
+    if (group + 1 == p.num_dgroups) {
+        // No slower d-group to demote into. With unrestricted pointers
+        // this is unreachable (a data-replacement eviction always frees
+        // a frame before placement); with Section 2.4.3's restriction a
+        // region can fill up, and the victim must leave the cache.
+        panic_if(p.frame_restriction == 0,
+                 "slowest d-group full despite unrestricted placement");
+        const std::uint32_t f = dataArray.victimFrame(group, region);
+        const DataArray::Frame &fr = dataArray.frame(group, f);
+        TagArray::Entry &e = tagArray.entry(fr.set, fr.way);
+        if (e.dirty)
+            mem.write(p.block_bytes);
+        e.valid = false;
+        e.dirty = false;
+        dataArray.remove(group, f);
+        ++statRestrictionEvictions;
+        ++statEvictions;
+        return dataArray.allocFrame(group, region);
+    }
+
+    const std::uint32_t victim = dataArray.victimFrame(group, region);
+    const std::uint32_t dest = ensureFree(group + 1, region, busy);
+    moveBlock(group, victim, group + 1, dest);
+    ++statDemotions;
+    busy += times.swapBusy(group, group + 1);
+    cacheEnergy += times.swapEnergy(group, group + 1);
+    return dataArray.allocFrame(group, region);
+}
+
+void
+NuRapidCache::promote(std::uint32_t set, std::uint32_t way, Cycles &busy)
+{
+    TagArray::Entry &e = tagArray.entry(set, way);
+    const std::uint32_t g = e.group;
+    if (g == 0 || p.promotion == PromotionPolicy::DemotionOnly)
+        return;
+
+    const std::uint32_t target =
+        p.promotion == PromotionPolicy::NextFastest ? g - 1 : 0;
+    const Addr block_index =
+        tagArray.blockAddr(set, way) / p.block_bytes;
+    const std::uint32_t region = dataArray.regionOf(block_index);
+
+    ++statPromotions;
+
+    if (dataArray.hasFree(target, region)) {
+        // Pure promotion into a free frame: one block move.
+        const std::uint32_t dest = dataArray.allocFrame(target, region);
+        moveBlock(g, e.frame, target, dest);
+        busy += times.swapBusy(g, target);
+        cacheEnergy += times.swapEnergy(g, target);
+        return;
+    }
+
+    // Swap with a distance-replacement victim of the target d-group
+    // (which may belong to any set): the victim demotes into the frame
+    // our block vacates.
+    const std::uint32_t victim = dataArray.victimFrame(target, region);
+    const std::uint32_t our_frame = e.frame;
+
+    const DataArray::Frame vf = dataArray.frame(target, victim);
+    TagArray::Entry &ve = tagArray.entry(vf.set, vf.way);
+    panic_if(!ve.valid || ve.group != target || ve.frame != victim,
+             "victim pointer mismatch during promotion swap");
+
+    dataArray.swapFrames(g, our_frame, target, victim);
+    e.group = static_cast<std::uint8_t>(target);
+    e.frame = victim;
+    ve.group = static_cast<std::uint8_t>(g);
+    ve.frame = our_frame;
+
+    ++statDemotions;
+    statBlockMoves += 2;
+    statDGroupAccesses += 4;  // read + write at both d-groups
+    busy += times.swapBusy(g, target);
+    cacheEnergy += 2.0 * times.swapEnergy(g, target);
+}
+
+LowerMemory::Result
+NuRapidCache::access(Addr addr, AccessType type, Cycle now)
+{
+    const Addr block = blockAlign(addr, p.block_bytes);
+    const bool is_writeback = type == AccessType::Writeback;
+    const bool is_write = type == AccessType::Write || is_writeback;
+
+    if (is_writeback)
+        ++statWritebackAccesses;
+    else
+        ++statDemandAccesses;
+
+    // Single-port serialization: a new demand access waits for
+    // outstanding swap/fill work (Section 2.3). L1 writebacks sit in a
+    // writeback buffer and drain through idle port slots, so they
+    // neither wait nor block demand traffic.
+    Cycle start = now;
+    if (p.single_port && !p.ideal_fastest && !is_writeback) {
+        start = std::max(now, portFree);
+        statPortWaitCycles += start - now;
+    }
+    Cycles busy = 0;  // port occupancy accrued by this access
+
+    ++statTagProbes;
+    cacheEnergy += times.tag_read_nj;
+
+    const TagArray::Lookup look = tagArray.lookup(block);
+    Result result;
+
+    if (look.hit) {
+        TagArray::Entry &e = tagArray.entry(look.set, look.way);
+        const std::uint32_t g = e.group;
+        ++statDGroupAccesses;
+        if (!is_writeback) {
+            ++statHits;
+            regionHist.sample(g);
+        }
+
+        tagArray.touch(look.set, look.way);
+        dataArray.touch(g, e.frame);
+        if (is_write)
+            e.dirty = true;
+
+        cacheEnergy += is_write ? times.dgroups[g].data_write_nj
+                                : times.dgroups[g].data_read_nj;
+
+        const Cycles lat = p.ideal_fastest
+            ? times.dgroups[0].total_latency
+            : times.dgroups[g].total_latency;
+        busy = times.port_cycle;
+
+        // L1 writebacks update in place without migrating the block.
+        if (!p.ideal_fastest && !is_writeback)
+            promote(look.set, look.way, busy);
+
+        result.hit = true;
+        result.latency = is_writeback
+            ? 0
+            : static_cast<Cycles>(start - now) + lat;
+    } else {
+        if (!is_writeback)
+            ++statMisses;
+
+        // Data replacement: evict the set-LRU block from the cache,
+        // freeing its data frame (Section 2.2, step 2).
+        const std::uint32_t way = tagArray.victimWay(look.set);
+        TagArray::Entry &e = tagArray.entry(look.set, way);
+        if (e.valid) {
+            ++statEvictions;
+            if (e.dirty) {
+                ++statDirtyEvictions;
+                mem.write(p.block_bytes);
+            }
+            dataArray.remove(e.group, e.frame);
+            ++statDGroupAccesses;  // victim read-out
+            cacheEnergy += times.dgroups[e.group].data_read_nj;
+        }
+
+        // Distance placement: the new block always enters the fastest
+        // d-group (Section 2.1), demoting as needed.
+        const std::uint32_t region = dataArray.regionOf(
+            block / p.block_bytes);
+        const std::uint32_t f0 = ensureFree(0, region, busy);
+
+        e.valid = true;
+        e.dirty = is_write;
+        e.tag = tagArray.tagOf(block);
+        e.group = 0;
+        e.frame = f0;
+        dataArray.place(0, f0, look.set, way);
+        tagArray.touch(look.set, way);
+
+        cacheEnergy += times.tag_write_nj +
+            times.dgroups[0].data_write_nj;
+        ++statDGroupAccesses;  // fill write
+        busy += times.port_cycle;
+
+        const Cycles mem_lat = mem.read(p.block_bytes);
+        result.hit = false;
+        result.latency = is_writeback
+            ? 0
+            : static_cast<Cycles>(start - now) + times.tag_latency +
+                mem_lat;
+    }
+
+    if (p.single_port && !p.ideal_fastest && !is_writeback)
+        portFree = start + busy;
+
+    return result;
+}
+
+EnergyNJ
+NuRapidCache::dynamicEnergyNJ() const
+{
+    return cacheEnergy + mem.dynamicEnergyNJ();
+}
+
+void
+NuRapidCache::resetStats()
+{
+    statGroup.resetAll();
+    mem.resetStats();
+    regionHist.reset();
+    cacheEnergy = 0;
+}
+
+bool
+NuRapidCache::checkInvariants() const
+{
+    // Every valid tag entry's forward pointer must land on a valid
+    // frame whose reverse pointer names that entry, and the counts of
+    // valid tags and valid frames must match.
+    if (tagArray.validCount() != dataArray.validCount())
+        return false;
+    for (std::uint32_t s = 0; s < tagArray.numSets(); ++s) {
+        for (std::uint32_t w = 0; w < tagArray.assoc(); ++w) {
+            const TagArray::Entry &e = tagArray.entry(s, w);
+            if (!e.valid)
+                continue;
+            if (e.group >= dataArray.numGroups() ||
+                e.frame >= dataArray.framesPerGroup()) {
+                return false;
+            }
+            const DataArray::Frame &f = dataArray.frame(e.group, e.frame);
+            if (!f.valid || f.set != s || f.way != w)
+                return false;
+            if (p.frame_restriction != 0) {
+                const Addr bi = tagArray.blockAddr(s, w) / p.block_bytes;
+                if (dataArray.regionOfFrame(e.frame) !=
+                        dataArray.regionOf(bi)) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+std::uint32_t
+NuRapidCache::blocksOfSetInGroup(std::uint32_t set,
+                                 std::uint32_t group) const
+{
+    std::uint32_t n = 0;
+    for (std::uint32_t w = 0; w < tagArray.assoc(); ++w) {
+        const TagArray::Entry &e = tagArray.entry(set, w);
+        if (e.valid && e.group == group)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace nurapid

@@ -1,0 +1,48 @@
+#include "nurapid/pointer_codec.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+PointerLayout
+computePointerLayout(std::uint64_t capacity_bytes,
+                     std::uint32_t block_bytes, std::uint32_t assoc,
+                     std::uint32_t num_dgroups,
+                     std::uint32_t frame_restriction,
+                     std::uint32_t addr_bits)
+{
+    fatal_if(capacity_bytes == 0 || block_bytes == 0 || assoc == 0 ||
+                 num_dgroups == 0,
+             "degenerate pointer-layout query");
+
+    const std::uint64_t blocks = capacity_bytes / block_bytes;
+    const std::uint64_t frames_per_group = blocks / num_dgroups;
+    const std::uint64_t sets = blocks / assoc;
+
+    PointerLayout l;
+    l.group_bits = bitsFor(num_dgroups);
+    l.frame_bits = frame_restriction == 0
+        ? bitsFor(frames_per_group)
+        : bitsFor(frame_restriction);
+    l.forward_bits = l.group_bits + l.frame_bits;
+    l.reverse_bits = bitsFor(sets) + bitsFor(assoc);
+
+    // One forward pointer per tag entry + one reverse pointer per frame
+    // (the two populations have the same size: one of each per block).
+    l.total_pointer_bytes =
+        (blocks * (l.forward_bits + l.reverse_bits) + 7) / 8;
+    l.pointer_overhead =
+        static_cast<double>(l.total_pointer_bytes) / capacity_bytes;
+
+    // Conventional tag-entry cost for comparison (valid+dirty+LRU bits).
+    const std::uint64_t tag_bits =
+        addr_bits - bitsFor(sets) - bitsFor(block_bytes);
+    l.tag_entry_bits = tag_bits + 2 + bitsFor(assoc);
+    l.tag_overhead =
+        static_cast<double>(blocks * l.tag_entry_bits / 8) /
+        capacity_bytes;
+    return l;
+}
+
+} // namespace nurapid

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Forward/reverse-pointer width and overhead arithmetic (Section 2.4.3).
+ *
+ * The paper's example: an 8 MB cache with 128 B blocks needs 16-bit
+ * forward and reverse pointers for full flexibility (256 KB of
+ * pointers, a 3% overhead); restricting placement to 256 frames per
+ * d-group in a 4-d-group cache shrinks the pointer to 10 bits.
+ */
+
+#ifndef NURAPID_NURAPID_POINTER_CODEC_HH
+#define NURAPID_NURAPID_POINTER_CODEC_HH
+
+#include <cstdint>
+
+namespace nurapid {
+
+struct PointerLayout
+{
+    std::uint32_t group_bits = 0;       //!< selects the d-group
+    std::uint32_t frame_bits = 0;       //!< selects the frame within it
+    std::uint32_t forward_bits = 0;     //!< group_bits + frame_bits
+    std::uint32_t reverse_bits = 0;     //!< set + way
+    std::uint64_t total_pointer_bytes = 0;
+    std::uint64_t tag_entry_bits = 0;   //!< tag + state (no pointer)
+    double pointer_overhead = 0.0;      //!< pointer bytes / data bytes
+    double tag_overhead = 0.0;          //!< tag-array bytes / data bytes
+};
+
+/**
+ * Computes pointer widths for a NuRAPID organization.
+ *
+ * @param capacity_bytes    total data capacity
+ * @param block_bytes       cache block size
+ * @param assoc             tag-array associativity
+ * @param num_dgroups       number of d-groups
+ * @param frame_restriction reachable frames per d-group per block
+ *                          (0 = unrestricted)
+ * @param addr_bits         physical address width (the paper uses 64)
+ */
+PointerLayout computePointerLayout(std::uint64_t capacity_bytes,
+                                   std::uint32_t block_bytes,
+                                   std::uint32_t assoc,
+                                   std::uint32_t num_dgroups,
+                                   std::uint32_t frame_restriction = 0,
+                                   std::uint32_t addr_bits = 64);
+
+} // namespace nurapid
+
+#endif // NURAPID_NURAPID_POINTER_CODEC_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * NuRAPID policy knobs (Sections 2.4.1 and 2.4.2 of the paper).
+ */
+
+#ifndef NURAPID_NURAPID_POLICIES_HH
+#define NURAPID_NURAPID_POLICIES_HH
+
+#include <cstdint>
+
+namespace nurapid {
+
+/**
+ * What happens when a block is hit in a d-group other than the fastest.
+ *
+ * - DemotionOnly: nothing; blocks only move outward via demotion.
+ * - NextFastest: promote one d-group closer (the paper's best policy).
+ * - Fastest: promote straight to d-group 0.
+ */
+enum class PromotionPolicy : std::uint8_t { DemotionOnly, NextFastest,
+                                            Fastest };
+
+/**
+ * Victim selection within a d-group for distance replacement.
+ * Section 2.4.2: true LRU over thousands of frames is O(n^2) hardware;
+ * Random is the paper's choice; TreePLRU is the usual realizable
+ * approximation in between.
+ */
+enum class DistanceRepl : std::uint8_t { Random, LRU, TreePLRU };
+
+constexpr const char *
+promotionPolicyName(PromotionPolicy p)
+{
+    switch (p) {
+      case PromotionPolicy::DemotionOnly: return "demotion-only";
+      case PromotionPolicy::NextFastest: return "next-fastest";
+      case PromotionPolicy::Fastest: return "fastest";
+    }
+    return "unknown";
+}
+
+constexpr const char *
+distanceReplName(DistanceRepl d)
+{
+    switch (d) {
+      case DistanceRepl::Random: return "random";
+      case DistanceRepl::LRU: return "lru";
+      case DistanceRepl::TreePLRU: return "tree-plru";
+    }
+    return "unknown";
+}
+
+} // namespace nurapid
+
+#endif // NURAPID_NURAPID_POLICIES_HH

@@ -1,0 +1,103 @@
+#include "nurapid/tag_array.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+TagArray::TagArray(std::uint64_t capacity_bytes, std::uint32_t assoc,
+                   std::uint32_t block_bytes)
+    : sets(static_cast<std::uint32_t>(
+          capacity_bytes / (std::uint64_t{assoc} * block_bytes))),
+      ways(assoc), blockSize(block_bytes),
+      entries(std::size_t{sets} * assoc),
+      stamps(std::size_t{sets} * assoc, 0)
+{
+    fatal_if(assoc == 0, "tag array with zero associativity");
+    fatal_if(!isPowerOf2(block_bytes), "block size %u not a power of two",
+             block_bytes);
+    fatal_if(!isPowerOf2(sets), "set count %u not a power of two", sets);
+}
+
+std::uint32_t
+TagArray::setOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr / blockSize) & (sets - 1));
+}
+
+Addr
+TagArray::tagOf(Addr addr) const
+{
+    return addr / blockSize / sets;
+}
+
+TagArray::Lookup
+TagArray::lookup(Addr addr) const
+{
+    Lookup result;
+    result.set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        const Entry &e = entries[std::size_t{result.set} * ways + w];
+        if (e.valid && e.tag == tag) {
+            result.hit = true;
+            result.way = w;
+            return result;
+        }
+    }
+    return result;
+}
+
+TagArray::Entry &
+TagArray::entry(std::uint32_t set, std::uint32_t way)
+{
+    panic_if(set >= sets || way >= ways, "tag entry (%u, %u) out of range",
+             set, way);
+    return entries[std::size_t{set} * ways + way];
+}
+
+const TagArray::Entry &
+TagArray::entry(std::uint32_t set, std::uint32_t way) const
+{
+    panic_if(set >= sets || way >= ways, "tag entry (%u, %u) out of range",
+             set, way);
+    return entries[std::size_t{set} * ways + way];
+}
+
+void
+TagArray::touch(std::uint32_t set, std::uint32_t way)
+{
+    stamps[std::size_t{set} * ways + way] = ++clock;
+}
+
+std::uint32_t
+TagArray::victimWay(std::uint32_t set) const
+{
+    const std::size_t base = std::size_t{set} * ways;
+    std::uint32_t lru = 0;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (!entries[base + w].valid)
+            return w;
+        if (stamps[base + w] < stamps[base + lru])
+            lru = w;
+    }
+    return lru;
+}
+
+Addr
+TagArray::blockAddr(std::uint32_t set, std::uint32_t way) const
+{
+    const Entry &e = entry(set, way);
+    return (e.tag * sets + set) * blockSize;
+}
+
+std::uint64_t
+TagArray::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const Entry &e : entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace nurapid

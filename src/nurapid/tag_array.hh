@@ -1,0 +1,79 @@
+/**
+ * @file
+ * NuRAPID's centralized set-associative tag array.
+ *
+ * Tag placement stays conventionally set-associative (an n-way cache
+ * holds at most n blocks of a set), but every entry carries a *forward
+ * pointer* (d-group, frame) to an arbitrary data frame — the decoupling
+ * that enables distance associativity (Section 2.1, Figure 1).
+ */
+
+#ifndef NURAPID_NURAPID_TAG_ARRAY_HH
+#define NURAPID_NURAPID_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nurapid {
+
+class TagArray
+{
+  public:
+    struct Entry
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint8_t group = 0;    //!< forward pointer: d-group
+        std::uint32_t frame = 0;   //!< forward pointer: frame in group
+    };
+
+    struct Lookup
+    {
+        bool hit = false;
+        std::uint32_t set = 0;
+        std::uint32_t way = 0;
+    };
+
+    TagArray(std::uint64_t capacity_bytes, std::uint32_t assoc,
+             std::uint32_t block_bytes);
+
+    /** Probes the array; also fills set/way of the addressed set. */
+    Lookup lookup(Addr addr) const;
+
+    Entry &entry(std::uint32_t set, std::uint32_t way);
+    const Entry &entry(std::uint32_t set, std::uint32_t way) const;
+
+    /** Records a use for set-LRU data replacement. */
+    void touch(std::uint32_t set, std::uint32_t way);
+
+    /** An invalid way of @p set if one exists, else the set-LRU way. */
+    std::uint32_t victimWay(std::uint32_t set) const;
+
+    /** Reconstructs the block address stored at (set, way). */
+    Addr blockAddr(std::uint32_t set, std::uint32_t way) const;
+
+    std::uint32_t setOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    std::uint32_t numSets() const { return sets; }
+    std::uint32_t assoc() const { return ways; }
+    std::uint32_t blockBytes() const { return blockSize; }
+
+    /** Count of valid entries (for invariant checks in tests). */
+    std::uint64_t validCount() const;
+
+  private:
+    std::uint32_t sets;
+    std::uint32_t ways;
+    std::uint32_t blockSize;
+    std::vector<Entry> entries;       //!< [set * ways + way]
+    std::vector<std::uint64_t> stamps;
+    std::uint64_t clock = 0;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_NURAPID_TAG_ARRAY_HH

@@ -1,0 +1,164 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "timing/geometry.hh"
+
+namespace nurapid {
+
+namespace {
+
+const SramMacroModel &
+sharedModel()
+{
+    static const SramMacroModel model(TechParams::the70nm());
+    return model;
+}
+
+std::unique_ptr<LowerMemory>
+makeOrganization(const OrgSpec &spec)
+{
+    const SramMacroModel &model = sharedModel();
+    switch (spec.kind) {
+      case OrgKind::BaseL2L3:
+        return std::make_unique<ConventionalL2L3>(model, spec.base);
+      case OrgKind::DNuca:
+        return std::make_unique<DNucaCache>(model, spec.dnuca);
+      case OrgKind::SNuca:
+        return std::make_unique<SNucaCache>(model, spec.snuca);
+      case OrgKind::NuRapid:
+        return std::make_unique<NuRapidCache>(model, spec.nurapid);
+      case OrgKind::CoupledSA:
+        return std::make_unique<CoupledNucaCache>(model, spec.coupled);
+    }
+    panic("unknown organization kind");
+}
+
+} // namespace
+
+namespace {
+
+CoreParams
+withWorkloadCpi(CoreParams params, const WorkloadProfile &profile)
+{
+    params.dispatch_cpi = std::max(params.dispatch_cpi,
+                                   profile.base_cpi);
+    return params;
+}
+
+} // namespace
+
+System::System(const OrgSpec &org, const WorkloadProfile &profile,
+               const SimLength &len, const CoreParams &core_params)
+    : spec(org), prof(profile), length(len),
+      lowerMem(makeOrganization(org)),
+      l1iCache(l1iOrg()), l1dCache(l1dOrg()),
+      coreModel(std::make_unique<OooCore>(
+          withWorkloadCpi(core_params, profile), l1iCache, l1dCache,
+          *lowerMem)),
+      trace(profile)
+{
+}
+
+void
+System::warmup()
+{
+    coreModel->run(trace, length.warmup_records);
+    coreModel->resetStats();
+    lowerMem->resetStats();
+}
+
+void
+System::measure()
+{
+    coreModel->run(trace, length.measure_records);
+}
+
+RunMetrics
+System::metrics() const
+{
+    RunMetrics m;
+    m.workload = prof.name;
+    m.organization = spec.description();
+    m.ipc = coreModel->ipc();
+    m.cycles = coreModel->cycles();
+    m.instructions = coreModel->instructions();
+
+    const StatGroup &ls =
+        const_cast<LowerMemory &>(*lowerMem).stats();
+    auto counter = [&](const char *name) -> std::uint64_t {
+        return ls.hasCounter(name) ? ls.counterValue(name) : 0;
+    };
+    m.l2_demand = counter("demand_accesses") + counter("accesses");
+    m.l2_hits = counter("hits") +
+        counter("l2_hits") + counter("l3_hits");
+    m.l2_misses = counter("misses") + counter("memory_fills");
+    m.l2_apki = m.instructions
+        ? 1000.0 * m.l2_demand / m.instructions
+        : 0.0;
+
+    const Histogram &h = lowerMem->regionHits();
+    m.region_frac.resize(h.buckets());
+    const double denom = static_cast<double>(m.l2_demand);
+    for (std::size_t b = 0; b < h.buckets(); ++b) {
+        m.region_frac[b] =
+            denom > 0 ? h.count(b) / denom : 0.0;
+    }
+    m.miss_frac = denom > 0 ? m.l2_misses / denom : 0.0;
+
+    m.promotions = counter("promotions");
+    m.demotions = counter("demotions");
+    m.block_moves = counter("block_moves");
+    m.data_array_accesses =
+        counter("dgroup_accesses") + counter("bank_data_accesses");
+
+    m.energy = computeEnergy(energyParams, *coreModel, *lowerMem);
+    return m;
+}
+
+RunMetrics
+System::runAll()
+{
+    warmup();
+    measure();
+    return metrics();
+}
+
+RunMetrics
+runOne(const OrgSpec &org, const WorkloadProfile &profile,
+       const SimLength &length)
+{
+    System sys(org, profile, length);
+    return sys.runAll();
+}
+
+std::vector<RunMetrics>
+runSuite(const OrgSpec &org, const std::vector<WorkloadProfile> &suite,
+         const SimLength &length)
+{
+    std::vector<RunMetrics> out;
+    out.reserve(suite.size());
+    for (const auto &profile : suite)
+        out.push_back(runOne(org, profile, length));
+    return out;
+}
+
+double
+meanRelativePerformance(const std::vector<RunMetrics> &runs,
+                        const std::vector<RunMetrics> &base)
+{
+    panic_if(runs.size() != base.size(),
+             "relative performance over mismatched suites");
+    if (runs.empty())
+        return 1.0;
+    double log_sum = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        panic_if(base[i].ipc <= 0, "base run with zero IPC");
+        log_sum += std::log(runs[i].ipc / base[i].ipc);
+    }
+    return std::exp(log_sum / runs.size());
+}
+
+} // namespace nurapid

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Full simulated system: OoO core + L1 I/D + one lower-level cache
+ * organization + a synthetic workload, with warmup/measure phases.
+ */
+
+#ifndef NURAPID_SIM_SYSTEM_HH
+#define NURAPID_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/ooo_core.hh"
+#include "energy/energy_model.hh"
+#include "sim/config.hh"
+#include "trace/synthetic.hh"
+
+namespace nurapid {
+
+/** Everything the benches need from one finished measurement run. */
+struct RunMetrics
+{
+    std::string workload;
+    std::string organization;
+
+    double ipc = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+
+    std::uint64_t l2_demand = 0;       //!< demand accesses into the L2
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l2_misses = 0;
+    double l2_apki = 0;                //!< demand accesses / kilo-inst
+
+    /** Fraction of demand L2 accesses hitting each latency region
+     *  (d-group / bank row / level); the remainder missed. */
+    std::vector<double> region_frac;
+    double miss_frac = 0;
+
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t block_moves = 0;
+    std::uint64_t data_array_accesses = 0;  //!< d-group/bank data ops
+
+    EnergyReport energy;
+};
+
+class System
+{
+  public:
+    System(const OrgSpec &org, const WorkloadProfile &profile,
+           const SimLength &length = SimLength::fromEnv(),
+           const CoreParams &core_params = defaultCoreParams());
+
+    /** Runs warmup (stats then reset) and the measurement phase. */
+    RunMetrics runAll();
+
+    /** Lower-level phases for custom experiments. */
+    void warmup();
+    void measure();
+    RunMetrics metrics() const;
+
+    OooCore &core() { return *coreModel; }
+    LowerMemory &lower() { return *lowerMem; }
+    SetAssocCache &l1d() { return l1dCache; }
+
+  private:
+    OrgSpec spec;
+    WorkloadProfile prof;
+    SimLength length;
+    std::unique_ptr<LowerMemory> lowerMem;
+    SetAssocCache l1iCache;
+    SetAssocCache l1dCache;
+    std::unique_ptr<OooCore> coreModel;
+    SyntheticTrace trace;
+    ProcessorEnergyParams energyParams;
+};
+
+/** Runs one (organization, workload) pair end to end. */
+RunMetrics runOne(const OrgSpec &org, const WorkloadProfile &profile,
+                  const SimLength &length = SimLength::fromEnv());
+
+/** Runs a whole suite; returns one RunMetrics per workload. */
+std::vector<RunMetrics> runSuite(const OrgSpec &org,
+                                 const std::vector<WorkloadProfile> &suite,
+                                 const SimLength &length =
+                                     SimLength::fromEnv());
+
+/** Geometric-mean relative performance (ipc vs base ipc). */
+double meanRelativePerformance(const std::vector<RunMetrics> &runs,
+                               const std::vector<RunMetrics> &base);
+
+} // namespace nurapid
+
+#endif // NURAPID_SIM_SYSTEM_HH

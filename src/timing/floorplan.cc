@@ -1,0 +1,74 @@
+#include "timing/floorplan.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nurapid {
+
+LShapeFloorplan::LShapeFloorplan(const SramMacroModel &model,
+                                 const std::vector<std::uint64_t> &dgroup_bytes)
+{
+    fatal_if(dgroup_bytes.empty(), "floorplan needs at least one d-group");
+    double pos = 0.0;
+    centers.reserve(dgroup_bytes.size());
+    for (std::uint64_t bytes : dgroup_bytes) {
+        double extent = std::sqrt(model.areaMm2(bytes));
+        centers.push_back(pos + extent / 2.0);
+        pos += extent;
+    }
+    pathLength = pos;
+}
+
+double
+LShapeFloorplan::routeMm(std::size_t dgroup) const
+{
+    panic_if(dgroup >= centers.size(), "d-group %zu out of range", dgroup);
+    return centers[dgroup];
+}
+
+double
+LShapeFloorplan::betweenMm(std::size_t a, std::size_t b) const
+{
+    panic_if(a >= centers.size() || b >= centers.size(),
+             "d-group pair (%zu, %zu) out of range", a, b);
+    return std::abs(centers[a] - centers[b]);
+}
+
+double
+LShapeFloorplan::farEdgeMm() const
+{
+    return pathLength;
+}
+
+BankGridFloorplan::BankGridFloorplan(const SramMacroModel &model,
+                                     unsigned rows, unsigned cols,
+                                     std::uint64_t bank_bytes)
+    : nRows(rows), nCols(cols),
+      pitch(std::sqrt(model.areaMm2(bank_bytes)))
+{
+    fatal_if(rows == 0 || cols == 0, "empty bank grid");
+}
+
+double
+BankGridFloorplan::verticalMm(unsigned row) const
+{
+    panic_if(row >= nRows, "bank row %u out of range", row);
+    return (row + 0.5) * pitch;
+}
+
+double
+BankGridFloorplan::horizontalMm(unsigned col) const
+{
+    panic_if(col >= nCols, "bank column %u out of range", col);
+    double mid = (nCols - 1) / 2.0;
+    return std::abs(col - mid) * pitch;
+}
+
+double
+BankGridFloorplan::routeMm(unsigned row, unsigned col) const
+{
+    return verticalMm(row) + horizontalMm(col);
+}
+
+} // namespace nurapid

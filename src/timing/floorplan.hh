@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Physical placement of d-groups (NuRAPID) and bank grids (D-NUCA).
+ *
+ * NuRAPID uses the paper's L-shaped floorplan (Figure 3b): d-groups are
+ * placed along a path starting at the processor-core corner; reaching
+ * d-group i requires routing around every closer d-group (Section 4's
+ * Cacti modification #2). D-NUCA uses the paper's rectangular 16x8 bank
+ * grid (Figure 3a) reached through a switched network.
+ */
+
+#ifndef NURAPID_TIMING_FLOORPLAN_HH
+#define NURAPID_TIMING_FLOORPLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "timing/geometry.hh"
+
+namespace nurapid {
+
+/**
+ * L-shaped floorplan for a small number of large d-groups.
+ *
+ * Each d-group occupies a roughly square region of side sqrt(area); the
+ * route to d-group i runs past d-groups 0..i-1 and ends at i's center.
+ */
+class LShapeFloorplan
+{
+  public:
+    LShapeFloorplan(const SramMacroModel &model,
+                    const std::vector<std::uint64_t> &dgroup_bytes);
+
+    /** One-way route distance from the core to d-group i's center, mm. */
+    double routeMm(std::size_t dgroup) const;
+
+    /** One-way route distance between two d-group centers, mm. */
+    double betweenMm(std::size_t a, std::size_t b) const;
+
+    /** One-way distance to the far edge of the whole array, mm. */
+    double farEdgeMm() const;
+
+    std::size_t numDGroups() const { return centers.size(); }
+
+  private:
+    std::vector<double> centers;  //!< path position of each center, mm
+    double pathLength = 0.0;
+};
+
+/**
+ * D-NUCA bank grid: @p cols bank columns (one per bank set) and
+ * @p rows banks deep. The core sits below the middle of row 0, so a
+ * bank's route has a vertical component (rows crossed, each adding
+ * wire plus a router hop) and a horizontal component (wire only).
+ */
+class BankGridFloorplan
+{
+  public:
+    BankGridFloorplan(const SramMacroModel &model, unsigned rows,
+                      unsigned cols, std::uint64_t bank_bytes);
+
+    /** One-way vertical wire distance to bank row r, mm. */
+    double verticalMm(unsigned row) const;
+
+    /** One-way horizontal wire distance to bank column c, mm. */
+    double horizontalMm(unsigned col) const;
+
+    /** Total one-way route distance to bank (r, c), mm. */
+    double routeMm(unsigned row, unsigned col) const;
+
+    /** Router hops traversed one-way to reach row r. */
+    unsigned hops(unsigned row) const { return row + 1; }
+
+    double bankPitchMm() const { return pitch; }
+    unsigned rows() const { return nRows; }
+    unsigned cols() const { return nCols; }
+
+  private:
+    unsigned nRows;
+    unsigned nCols;
+    double pitch;  //!< side of one square bank, mm
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_TIMING_FLOORPLAN_HH

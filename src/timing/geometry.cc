@@ -1,0 +1,131 @@
+#include "timing/geometry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/logging.hh"
+
+namespace nurapid {
+
+namespace {
+
+/** One calibration anchor: capacity in KB -> model outputs. */
+struct Anchor
+{
+    double cap_kb;
+    double access_ns;   //!< data-array access latency
+    double read_nj;     //!< per-block dynamic read energy
+};
+
+/**
+ * Cacti-like anchors at 70 nm for 128 B block reads. Calibrated so the
+ * full model (this + wires + floorplans, see latency_tables.cc) lands on
+ * the paper's published points: NuRAPID fastest-d-group latencies of
+ * 19/14/12 cycles for 2/4/8 d-groups, D-NUCA per-MB averages of
+ * ~7..29 cycles, conventional 1 MB @ 11 and 8 MB @ 43 cycles, and the
+ * Table 2 energies (0.42/3.3 nJ for 4x2MB closest/farthest etc.).
+ */
+constexpr Anchor kDataAnchors[] = {
+    {   16.0, 0.28, 0.060 },
+    {   64.0, 0.42, 0.105 },
+    {  256.0, 0.55, 0.140 },
+    { 1024.0, 0.66, 0.180 },
+    { 2048.0, 0.92, 0.210 },
+    { 4096.0, 1.62, 0.260 },
+    { 8192.0, 3.40, 0.320 },
+};
+
+/** Piecewise-linear interpolation in log2(capacity). */
+double
+interp(double cap_kb, double Anchor::*field)
+{
+    constexpr std::size_t n = std::size(kDataAnchors);
+    if (cap_kb <= kDataAnchors[0].cap_kb)
+        return kDataAnchors[0].*field;
+    if (cap_kb >= kDataAnchors[n - 1].cap_kb) {
+        // Extrapolate with the last segment's log-slope.
+        const Anchor &a = kDataAnchors[n - 2];
+        const Anchor &b = kDataAnchors[n - 1];
+        double t = (std::log2(cap_kb) - std::log2(a.cap_kb)) /
+            (std::log2(b.cap_kb) - std::log2(a.cap_kb));
+        return a.*field + t * (b.*field - a.*field);
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        const Anchor &a = kDataAnchors[i];
+        const Anchor &b = kDataAnchors[i + 1];
+        if (cap_kb <= b.cap_kb) {
+            double t = (std::log2(cap_kb) - std::log2(a.cap_kb)) /
+                (std::log2(b.cap_kb) - std::log2(a.cap_kb));
+            return a.*field + t * (b.*field - a.*field);
+        }
+    }
+    return kDataAnchors[n - 1].*field;
+}
+
+} // namespace
+
+SramMacroModel::SramMacroModel(const TechParams &tech_params)
+    : techParams(tech_params)
+{
+}
+
+double
+SramMacroModel::dataAccessNs(std::uint64_t capacity_bytes) const
+{
+    fatal_if(capacity_bytes == 0, "zero-capacity data macro");
+    return interp(capacity_bytes / 1024.0, &Anchor::access_ns);
+}
+
+double
+SramMacroModel::dataReadNJ(std::uint64_t capacity_bytes) const
+{
+    fatal_if(capacity_bytes == 0, "zero-capacity data macro");
+    return interp(capacity_bytes / 1024.0, &Anchor::read_nj);
+}
+
+double
+SramMacroModel::dataWriteNJ(std::uint64_t capacity_bytes) const
+{
+    // Writes skip the sense amps but drive the full bitline swing;
+    // Cacti puts them within ~10% of reads for these geometries.
+    return 1.05 * dataReadNJ(capacity_bytes);
+}
+
+double
+SramMacroModel::tagAccessNs(std::uint64_t tag_entries, unsigned assoc) const
+{
+    fatal_if(tag_entries == 0, "empty tag macro");
+    // A tag entry is ~8 B (51-bit tag + state + forward pointer). The
+    // macro behaves like a small data array plus an associative compare
+    // stage that deepens slowly with associativity.
+    const double tag_bytes = static_cast<double>(tag_entries) * 8.0;
+    const double array_ns = interp(tag_bytes / 1024.0, &Anchor::access_ns);
+    // Way-compare plus the deeper decode/select trees of larger tag
+    // macros (the paper's 8 MB 8-way tag probes in 8 cycles).
+    const double entries_k =
+        std::max(1.0, static_cast<double>(tag_entries) / 1024.0);
+    const double compare_ns = 0.25 + 0.10 * std::log2(double(assoc) + 1.0) +
+        0.05 * std::log2(entries_k);
+    return array_ns + compare_ns;
+}
+
+double
+SramMacroModel::tagAccessNJ(std::uint64_t tag_entries, unsigned assoc) const
+{
+    const double tag_bytes = static_cast<double>(tag_entries) * 8.0;
+    const double array_nj = interp(tag_bytes / 1024.0, &Anchor::read_nj);
+    // All ways of the indexed set are read and compared, but a tag read
+    // is narrow (8 B vs a 128 B block), so scale down accordingly and
+    // charge the comparators per way.
+    return 0.30 * array_nj + 0.004 * assoc;
+}
+
+double
+SramMacroModel::areaMm2(std::uint64_t capacity_bytes) const
+{
+    return techParams.mm2_per_mb *
+        (static_cast<double>(capacity_bytes) / (1024.0 * 1024.0));
+}
+
+} // namespace nurapid

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SRAM-macro access time and energy as a function of capacity.
+ *
+ * A data array of capacity C is built from many small subarrays
+ * (Section 3.1 of the paper; cf. the 135-subarray Itanium II L3). The
+ * access time of the *macro* is dominated by decode + intra-macro
+ * routing, which grows with sqrt(area), plus subarray access. Rather
+ * than re-deriving Cacti's transistor-level model we interpolate
+ * between Cacti-like anchor points (log-capacity linear interpolation),
+ * which is exactly the fidelity the paper consumes.
+ */
+
+#ifndef NURAPID_TIMING_GEOMETRY_HH
+#define NURAPID_TIMING_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "timing/tech.hh"
+
+namespace nurapid {
+
+/**
+ * Access-time/energy model for a tagless data macro (a d-group, a
+ * D-NUCA bank data array, or a conventional cache data array).
+ */
+class SramMacroModel
+{
+  public:
+    explicit SramMacroModel(const TechParams &tech_params);
+
+    /** Access latency (decode + wordline + bitline + sense), ns. */
+    double dataAccessNs(std::uint64_t capacity_bytes) const;
+
+    /** Dynamic read energy for one block access, nJ. */
+    double dataReadNJ(std::uint64_t capacity_bytes) const;
+
+    /** Dynamic write energy for one block fill, nJ. */
+    double dataWriteNJ(std::uint64_t capacity_bytes) const;
+
+    /**
+     * Latency of a set-associative tag macro, ns. Covers decode,
+     * compare, and way-select for @p tag_entries tags of an
+     * @p assoc -way cache (wider compares for higher associativity).
+     */
+    double tagAccessNs(std::uint64_t tag_entries, unsigned assoc) const;
+
+    /** Dynamic energy of one tag-macro probe (all ways compared), nJ. */
+    double tagAccessNJ(std::uint64_t tag_entries, unsigned assoc) const;
+
+    /** Physical footprint of a data macro, mm^2. */
+    double areaMm2(std::uint64_t capacity_bytes) const;
+
+    const TechParams &tech() const { return techParams; }
+
+  private:
+    const TechParams &techParams;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_TIMING_GEOMETRY_HH

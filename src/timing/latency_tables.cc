@@ -1,0 +1,244 @@
+#include "timing/latency_tables.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+Cycles
+NuRapidTiming::swapBusy(unsigned from, unsigned to) const
+{
+    panic_if(from >= dgroups.size() || to >= dgroups.size(),
+             "swap between invalid d-groups %u and %u", from, to);
+    // Read at the source, then write at the destination. The single
+    // port is held for the two array operations; the inter-d-group
+    // transfer rides the wires without occupying the arrays.
+    return dgroups[from].array_latency + dgroups[to].array_latency;
+}
+
+EnergyNJ
+NuRapidTiming::swapEnergy(unsigned from, unsigned to) const
+{
+    panic_if(from >= dgroups.size() || to >= dgroups.size(),
+             "swap between invalid d-groups %u and %u", from, to);
+    // One block moves: a raw array read at 'from', a raw array write
+    // at 'to', the block transfer *between the two d-groups* (not via
+    // the core), and a tag update (forward pointer; the reverse
+    // pointer rides in the data write).
+    const double dist_mm = between_mm[from][to];
+    return array_read_nj + array_write_nj +
+        TechParams::the70nm().wireBlockNJ(dist_mm) + tag_write_nj;
+}
+
+NuRapidTiming
+makeNuRapidTiming(const SramMacroModel &model, std::uint64_t capacity_bytes,
+                  unsigned num_dgroups, unsigned assoc, unsigned block_bytes)
+{
+    fatal_if(num_dgroups == 0, "NuRAPID needs at least one d-group");
+    fatal_if(capacity_bytes % (std::uint64_t{num_dgroups} * block_bytes),
+             "capacity %llu not divisible into %u d-groups of %u B blocks",
+             static_cast<unsigned long long>(capacity_bytes), num_dgroups,
+             block_bytes);
+
+    const TechParams &tech = model.tech();
+    const std::uint64_t dgroup_bytes = capacity_bytes / num_dgroups;
+    const std::uint64_t tag_entries = capacity_bytes / block_bytes;
+
+    LShapeFloorplan plan(model,
+        std::vector<std::uint64_t>(num_dgroups, dgroup_bytes));
+
+    NuRapidTiming t;
+    const double tag_ns = model.tagAccessNs(tag_entries, assoc);
+    t.tag_latency = tech.toCycles(tag_ns);
+    t.tag_read_nj = model.tagAccessNJ(tag_entries, assoc);
+    // A pointer/state update touches one way, not the whole compare.
+    t.tag_write_nj = 0.5 * t.tag_read_nj;
+
+    const double data_ns = model.dataAccessNs(dgroup_bytes);
+    const double data_read_nj = model.dataReadNJ(dgroup_bytes);
+    const double data_write_nj = model.dataWriteNJ(dgroup_bytes);
+    t.array_read_nj = data_read_nj;
+    t.array_write_nj = data_write_nj;
+
+    t.dgroups.reserve(num_dgroups);
+    for (unsigned g = 0; g < num_dgroups; ++g) {
+        DGroupTiming d;
+        d.route_mm = plan.routeMm(g);
+        const double wire_rt_ns = 2.0 * d.route_mm * tech.wire_ns_per_mm;
+        d.total_latency = tech.toCycles(tag_ns + data_ns + wire_rt_ns);
+        d.data_latency = tech.toCycles(data_ns + wire_rt_ns);
+        d.array_latency = tech.toCycles(data_ns);
+        d.read_nj = t.tag_read_nj + data_read_nj +
+            tech.wireBlockNJ(d.route_mm) + tech.wireAddrNJ(d.route_mm);
+        d.data_read_nj = data_read_nj + tech.wireBlockNJ(d.route_mm) +
+            tech.wireAddrNJ(d.route_mm);
+        d.data_write_nj = data_write_nj + tech.wireBlockNJ(d.route_mm) +
+            tech.wireAddrNJ(d.route_mm);
+        t.dgroups.push_back(d);
+    }
+
+    t.between_mm.assign(num_dgroups, std::vector<double>(num_dgroups, 0.0));
+    for (unsigned a = 0; a < num_dgroups; ++a)
+        for (unsigned b = 0; b < num_dgroups; ++b)
+            t.between_mm[a][b] = plan.betweenMm(a, b);
+
+    return t;
+}
+
+const DNucaBankTiming &
+DNucaTiming::bank(unsigned row, unsigned col) const
+{
+    panic_if(row >= rows || col >= cols, "bank (%u, %u) out of range",
+             row, col);
+    return banks[std::size_t{row} * cols + col];
+}
+
+EnergyNJ
+DNucaTiming::swapEnergy(unsigned r1, unsigned r2, unsigned col) const
+{
+    // A bubble swap exchanges *two* blocks between adjacent-latency
+    // banks: each bank performs a raw read and a raw write, plus two
+    // block transfers *between the banks* (the idealized network does
+    // not route them via the core).
+    const DNucaBankTiming &a = bank(r1, col);
+    const DNucaBankTiming &b = bank(r2, col);
+    const double dist = std::abs(a.route_mm - b.route_mm);
+    return 4.0 * bank_raw_nj +
+        2.0 * TechParams::the70nm().wireBlockNJ(dist);
+}
+
+Cycles
+DNucaTiming::swapBusy(unsigned r1, unsigned r2, unsigned col) const
+{
+    const DNucaBankTiming &a = bank(r1, col);
+    const DNucaBankTiming &b = bank(r2, col);
+    const double dist = std::abs(a.route_mm - b.route_mm);
+    const TechParams &tech = TechParams::the70nm();
+    // read + write at each bank, plus the round-trip transfer between
+    // them (wire + one router hop each way).
+    const double transfer_ns =
+        2.0 * (dist * tech.wire_ns_per_mm + tech.dnuca_router_ns);
+    return 2 * bank_busy + tech.toCycles(transfer_ns);
+}
+
+double
+DNucaTiming::avgLatencyOfMB(unsigned mb) const
+{
+    panic_if(mb >= rows, "megabyte row %u out of range", mb);
+    double sum = 0;
+    for (unsigned c = 0; c < cols; ++c)
+        sum += bank(mb, c).latency;
+    return sum / cols;
+}
+
+Cycles
+DNucaTiming::minLatencyOfMB(unsigned mb) const
+{
+    Cycles best = bank(mb, 0).latency;
+    for (unsigned c = 1; c < cols; ++c)
+        best = std::min(best, bank(mb, c).latency);
+    return best;
+}
+
+Cycles
+DNucaTiming::maxLatencyOfMB(unsigned mb) const
+{
+    Cycles worst = bank(mb, 0).latency;
+    for (unsigned c = 1; c < cols; ++c)
+        worst = std::max(worst, bank(mb, c).latency);
+    return worst;
+}
+
+DNucaTiming
+makeDNucaTiming(const SramMacroModel &model, std::uint64_t capacity_bytes,
+                unsigned rows, unsigned cols, unsigned block_bytes)
+{
+    fatal_if(rows == 0 || cols == 0, "empty D-NUCA grid");
+    const std::uint64_t bank_bytes =
+        capacity_bytes / (std::uint64_t{rows} * cols);
+    fatal_if(bank_bytes < block_bytes, "D-NUCA banks smaller than a block");
+
+    const TechParams &tech = model.tech();
+    BankGridFloorplan plan(model, rows, cols, bank_bytes);
+
+    DNucaTiming t;
+    t.rows = rows;
+    t.cols = cols;
+    t.banks.resize(std::size_t{rows} * cols);
+
+    const double bank_ns = tech.dnuca_bank_access_ns;
+    const double bank_nj = 1.6 * model.dataReadNJ(bank_bytes) + 0.012;
+    t.bank_raw_nj = bank_nj;
+    // A search probe reads only the bank's small tag array.
+    const double bank_tag_nj = 0.25 * bank_nj;
+
+    for (unsigned r = 0; r < rows; ++r) {
+        for (unsigned c = 0; c < cols; ++c) {
+            DNucaBankTiming &b = t.banks[std::size_t{r} * cols + c];
+            b.route_mm = plan.routeMm(r, c);
+            const double wire_rt_ns =
+                2.0 * b.route_mm * tech.wire_ns_per_mm;
+            const double router_rt_ns =
+                2.0 * plan.hops(r) * tech.dnuca_router_ns;
+            b.latency = tech.toCycles(bank_ns + wire_rt_ns + router_rt_ns);
+            b.access_nj = bank_nj + tech.wireBlockNJ(b.route_mm) +
+                tech.wireAddrNJ(b.route_mm);
+            b.search_nj = bank_tag_nj + tech.wireAddrNJ(b.route_mm);
+        }
+    }
+
+    // Smart-search array: 7 partial-tag bits per block, all ways wide.
+    const std::uint64_t ss_bytes = (capacity_bytes / block_bytes) * 7 / 8;
+    t.ss_latency = tech.toCycles(model.dataAccessNs(ss_bytes) + 0.1);
+    t.ss_access_nj = 1.9 * model.dataReadNJ(ss_bytes);
+
+    // A bank is occupied for its access time (without network travel).
+    t.bank_busy = tech.toCycles(bank_ns);
+    return t;
+}
+
+UniformCacheTiming
+makeUniformTiming(const SramMacroModel &model, std::uint64_t capacity_bytes,
+                  unsigned assoc, unsigned block_bytes, bool sequential,
+                  unsigned ports, Cycles latency_override)
+{
+    const TechParams &tech = model.tech();
+    const std::uint64_t tag_entries = capacity_bytes / block_bytes;
+
+    const double tag_ns = model.tagAccessNs(tag_entries, assoc);
+    const double data_ns = model.dataAccessNs(capacity_bytes);
+    // Uniform access pays the route to the far edge of the array.
+    const double far_mm = std::sqrt(model.areaMm2(capacity_bytes));
+    const double wire_rt_ns = 2.0 * far_mm * tech.wire_ns_per_mm;
+
+    const double total_ns = sequential
+        ? tag_ns + data_ns + wire_rt_ns
+        : std::max(tag_ns, data_ns) + wire_rt_ns;
+
+    UniformCacheTiming u;
+    u.latency = latency_override ? latency_override
+                                 : tech.toCycles(total_ns);
+    u.tag_latency = tech.toCycles(tag_ns);
+
+    // Multi-ported cells are larger and heavier; Cacti's dual-port
+    // penalty is ~1.6x per port (calibrated on Table 2's L1 row).
+    const double port_scale = ports > 1 ? 1.6 * ports : 1.0;
+    const double tag_nj = model.tagAccessNJ(tag_entries, assoc);
+    double data_nj;
+    if (sequential) {
+        // Sequential tag-data reads exactly one data way.
+        data_nj = model.dataReadNJ(capacity_bytes);
+    } else {
+        // Parallel access reads all candidate ways (energy-hungry);
+        // Cacti folds way-select overlap into a ~1.6x factor.
+        data_nj = 1.6 * model.dataReadNJ(capacity_bytes);
+    }
+    u.read_nj = port_scale * (tag_nj + data_nj);
+    u.write_nj = port_scale *
+        (tag_nj + model.dataWriteNJ(capacity_bytes));
+    return u;
+}
+
+} // namespace nurapid

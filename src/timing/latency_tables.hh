@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Derived timing/energy tables consumed by the behavioral cache models.
+ *
+ * These structs are the boundary between the physical model (tech +
+ * geometry + floorplan) and the behavioral simulators in src/mem,
+ * src/nuca and src/nurapid: the simulators never see nanoseconds or
+ * millimetres, only cycles and nanojoules.
+ */
+
+#ifndef NURAPID_TIMING_LATENCY_TABLES_HH
+#define NURAPID_TIMING_LATENCY_TABLES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "timing/floorplan.hh"
+#include "timing/geometry.hh"
+
+namespace nurapid {
+
+/** Timing/energy of one NuRAPID d-group. */
+struct DGroupTiming
+{
+    Cycles total_latency;    //!< tag + route + data-array access, cycles
+    Cycles data_latency;     //!< route + data-array access only, cycles
+    Cycles array_latency;    //!< data-array access alone (no route);
+                             //!< this is what occupies the single port
+    double route_mm;         //!< one-way route distance from the core
+    EnergyNJ read_nj;        //!< tag probe + route + data read
+    EnergyNJ data_read_nj;   //!< route + data read (no tag), for swaps
+    EnergyNJ data_write_nj;  //!< route + data write (no tag), for swaps
+};
+
+/** Full timing/energy description of one NuRAPID configuration. */
+struct NuRapidTiming
+{
+    /**
+     * Initiation interval of the (pipelined) one-ported arrays: a new
+     * access may start every port_cycle cycles. Swaps, in contrast,
+     * hold the port for their full duration (Section 2.3: "any
+     * outstanding swaps must complete before a new access is
+     * initiated").
+     */
+    Cycles port_cycle = 1;
+
+    Cycles tag_latency;        //!< centralized tag array probe, cycles
+    EnergyNJ tag_read_nj;      //!< tag probe (all ways + fwd pointer out)
+    EnergyNJ tag_write_nj;     //!< tag/forward-pointer update
+    EnergyNJ array_read_nj;    //!< raw d-group array read (no routing)
+    EnergyNJ array_write_nj;   //!< raw d-group array write (no routing)
+    std::vector<DGroupTiming> dgroups;
+
+    /** One-way route distance between two d-group centers, mm. */
+    std::vector<std::vector<double>> between_mm;
+
+    /**
+     * Cycles the single port stays busy moving one block from d-group
+     * @p from to d-group @p to (a demotion or promotion leg).
+     */
+    Cycles swapBusy(unsigned from, unsigned to) const;
+
+    /** Dynamic energy of that block move (incl. pointer updates), nJ. */
+    EnergyNJ swapEnergy(unsigned from, unsigned to) const;
+
+    std::size_t numDGroups() const { return dgroups.size(); }
+};
+
+/** Builds the NuRAPID tables for a given organization. */
+NuRapidTiming makeNuRapidTiming(const SramMacroModel &model,
+                                std::uint64_t capacity_bytes,
+                                unsigned num_dgroups, unsigned assoc,
+                                unsigned block_bytes);
+
+/** Timing/energy of one D-NUCA bank. */
+struct DNucaBankTiming
+{
+    Cycles latency;      //!< request + bank access + reply, cycles
+    double route_mm;     //!< one-way route distance
+    EnergyNJ access_nj;  //!< parallel tag+data access + route energy
+    EnergyNJ search_nj;  //!< tag-only probe during a multicast search
+};
+
+/** Full timing/energy description of the D-NUCA baseline. */
+struct DNucaTiming
+{
+    unsigned rows = 0;     //!< bank depth (d-groups per set; 8)
+    unsigned cols = 0;     //!< bank sets (16)
+    std::vector<DNucaBankTiming> banks;  //!< row-major [row*cols + col]
+
+    Cycles ss_latency;     //!< smart-search array probe, cycles
+    EnergyNJ ss_access_nj;
+    EnergyNJ bank_raw_nj;  //!< one bank's tag+data access, no routing
+
+    Cycles bank_busy;      //!< bank occupancy per access (multibanked)
+
+    const DNucaBankTiming &bank(unsigned row, unsigned col) const;
+
+    /**
+     * Cycles both banks stay occupied by one bubble swap: a read and a
+     * write in each bank plus the two in-flight block transfers
+     * between the adjacent rows. Accesses arriving at either bank
+     * while the swap is in flight must wait.
+     */
+    Cycles swapBusy(unsigned r1, unsigned r2, unsigned col) const;
+
+    /** Energy of one bubble swap between rows r1 and r2 of column c. */
+    EnergyNJ swapEnergy(unsigned r1, unsigned r2, unsigned col) const;
+
+    /** Average access latency over the banks making up megabyte @p mb. */
+    double avgLatencyOfMB(unsigned mb) const;
+    Cycles minLatencyOfMB(unsigned mb) const;
+    Cycles maxLatencyOfMB(unsigned mb) const;
+};
+
+/** Builds the D-NUCA tables (16 x 8 grid of 64 KB banks for 8 MB). */
+DNucaTiming makeDNucaTiming(const SramMacroModel &model,
+                            std::uint64_t capacity_bytes, unsigned rows,
+                            unsigned cols, unsigned block_bytes);
+
+/** Timing/energy of a conventional uniform-access cache. */
+struct UniformCacheTiming
+{
+    Cycles latency;
+    Cycles tag_latency;  //!< tag-only probe (miss determination)
+    EnergyNJ read_nj;
+    EnergyNJ write_nj;
+};
+
+/**
+ * Builds tables for a conventional uniform cache (L1s, and the base
+ * case's L2/L3). @p sequential selects sequential tag-data access
+ * (lower-level caches) vs parallel (L1s). @p ports scales energy.
+ * @p latency_override, if non-zero, pins the latency to a configured
+ * value (the paper's Table 1 inputs) while energy still comes from the
+ * model.
+ */
+UniformCacheTiming makeUniformTiming(const SramMacroModel &model,
+                                     std::uint64_t capacity_bytes,
+                                     unsigned assoc, unsigned block_bytes,
+                                     bool sequential, unsigned ports = 1,
+                                     Cycles latency_override = 0);
+
+} // namespace nurapid
+
+#endif // NURAPID_TIMING_LATENCY_TABLES_HH

@@ -1,0 +1,35 @@
+#include "timing/tech.hh"
+
+#include <cmath>
+
+namespace nurapid {
+
+const TechParams &
+TechParams::the70nm()
+{
+    static const TechParams params{};
+    return params;
+}
+
+std::uint32_t
+TechParams::toCycles(double ns) const
+{
+    auto whole = static_cast<std::uint32_t>(std::floor(ns / cycle_ns + 0.5));
+    return whole == 0 ? 1 : whole;
+}
+
+double
+TechParams::wireBlockNJ(double mm) const
+{
+    if (mm <= 0.0)
+        return 0.0;
+    return wire_block_nj_coeff * std::pow(mm, wire_energy_exponent);
+}
+
+double
+TechParams::wireAddrNJ(double mm) const
+{
+    return mm <= 0.0 ? 0.0 : wire_addr_nj_per_mm * mm;
+}
+
+} // namespace nurapid

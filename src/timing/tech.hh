@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Technology parameters for the 70 nm process the paper assumes.
+ *
+ * The paper derives its latencies and energies from a modified Cacti 3.x.
+ * We reproduce the same *outputs* (cycles at 5 GHz, nJ per access) from an
+ * analytic model: SRAM-macro access curves anchored on Cacti-like points,
+ * a repeated-RC global-wire model, and floorplan route distances. The
+ * constants below are calibrated so the model reproduces the
+ * latency/energy numbers the paper publishes (its Tables 2 and 4); see
+ * tests/test_timing.cc for the regression anchors.
+ */
+
+#ifndef NURAPID_TIMING_TECH_HH
+#define NURAPID_TIMING_TECH_HH
+
+#include <cstdint>
+
+namespace nurapid {
+
+struct TechParams
+{
+    /** Core clock period; the paper simulates 5 GHz at 70 nm. */
+    double cycle_ns = 0.2;
+
+    /** SRAM area density, mm^2 per MB (cells + peripheral overhead). */
+    double mm2_per_mb = 4.5;
+
+    /** One-way delay of a repeated global wire, ns per mm. */
+    double wire_ns_per_mm = 0.15;
+
+    /**
+     * Dynamic energy of moving one 128 B block over distance d:
+     * wire_block_nj_coeff * d^wire_energy_exponent. The superlinear
+     * exponent reflects the wider, more heavily repeated buses needed
+     * to route around closer d-groups (calibrated on Table 2's
+     * closest/farthest pairs).
+     */
+    double wire_block_nj_coeff = 0.076;
+    double wire_energy_exponent = 1.5;
+
+    /** Dynamic energy of moving an address/request, nJ per mm. */
+    double wire_addr_nj_per_mm = 0.01;
+
+    /** One-way per-hop router fall-through delay, D-NUCA network, ns. */
+    double dnuca_router_ns = 0.22;
+
+    /** Parallel tag+data access time of one 64 KB D-NUCA bank, ns. */
+    double dnuca_bank_access_ns = 0.30;
+
+    /** D-NUCA per-hop switch energy; the paper idealizes this to zero. */
+    double dnuca_router_nj = 0.0;
+
+    /** Returns the calibrated 70 nm / 5 GHz technology point. */
+    static const TechParams &the70nm();
+
+    /** Converts a delay in ns to clock cycles (round half up, min 1). */
+    std::uint32_t toCycles(double ns) const;
+
+    /** Block-transfer wire energy over @p mm of route, nJ. */
+    double wireBlockNJ(double mm) const;
+
+    /** Address-transfer wire energy over @p mm of route, nJ. */
+    double wireAddrNJ(double mm) const;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_TIMING_TECH_HH

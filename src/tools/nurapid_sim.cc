@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Command-line simulator driver — the front door for downstream users.
+ *
+ * Runs one (organization, workload) pair on the full simulated system
+ * and prints the run metrics, the d-group/bank hit distribution, and
+ * the energy report.
+ *
+ * Examples:
+ *   nurapid_sim --list
+ *   nurapid_sim --org nurapid --benchmark applu
+ *   nurapid_sim --org nurapid --dgroups 8 --promotion fastest \
+ *               --distance-repl lru --benchmark mcf --scale 0.5
+ *   nurapid_sim --org dnuca --search ss-energy --benchmark swim
+ *   nurapid_sim --org base --benchmark gzip --stats
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+#include "trace/profiles.hh"
+
+using namespace nurapid;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --list                 list workloads and organizations\n"
+        "  --benchmark NAME       workload profile (default: applu)\n"
+        "  --org KIND             base | dnuca | snuca | sa-place |\n"
+        "                         nurapid\n"
+        "  --dgroups N            NuRAPID d-groups (2/4/8; default 4)\n"
+        "  --promotion P          demotion-only | next-fastest | fastest\n"
+        "  --distance-repl R      random | lru | tree-plru\n"
+        "  --restriction N        frames-per-d-group pointer restriction\n"
+        "  --multi-port           idealized infinite-port data arrays\n"
+        "  --ideal                constant fastest-d-group hit latency\n"
+        "  --search S             D-NUCA: multicast | ss-performance |\n"
+        "                         ss-energy\n"
+        "  --scale X              scale simulation length (default 1.0)\n"
+        "  --stats                dump full statistic groups\n",
+        argv0);
+}
+
+bool
+parsePromotion(const std::string &s, PromotionPolicy &out)
+{
+    if (s == "demotion-only")
+        out = PromotionPolicy::DemotionOnly;
+    else if (s == "next-fastest")
+        out = PromotionPolicy::NextFastest;
+    else if (s == "fastest")
+        out = PromotionPolicy::Fastest;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseSearch(const std::string &s, DNucaSearch &out)
+{
+    if (s == "multicast")
+        out = DNucaSearch::Multicast;
+    else if (s == "ss-performance")
+        out = DNucaSearch::SsPerformance;
+    else if (s == "ss-energy")
+        out = DNucaSearch::SsEnergy;
+    else
+        return false;
+    return true;
+}
+
+void
+listEverything()
+{
+    std::printf("workloads (synthetic SPEC2K stand-ins, Table 3):\n");
+    TextTable t;
+    t.header({"name", "type", "class", "target IPC", "target APKI"});
+    for (const auto &p : workloadSuite()) {
+        t.row({p.name, p.fp ? "FP" : "Int",
+               p.high_load ? "high-load" : "low-load",
+               TextTable::num(p.table3_ipc, 1),
+               TextTable::num(p.table3_l2_apki, 0)});
+    }
+    t.print();
+    std::printf("\norganizations: base, dnuca, snuca, sa-place, nurapid\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string benchmark = "applu";
+    std::string org = "nurapid";
+    OrgSpec spec = OrgSpec::nurapidDefault();
+    bool dump_stats = false;
+    double scale = 0.0;
+
+    std::uint32_t dgroups = 4;
+    PromotionPolicy promotion = PromotionPolicy::NextFastest;
+    DistanceRepl drepl = DistanceRepl::Random;
+    std::uint32_t restriction = 0;
+    bool multi_port = false;
+    bool ideal = false;
+    DNucaSearch search = DNucaSearch::SsPerformance;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--list") {
+            listEverything();
+            return 0;
+        } else if (arg == "--benchmark") {
+            benchmark = value("--benchmark");
+        } else if (arg == "--org") {
+            org = value("--org");
+        } else if (arg == "--dgroups") {
+            dgroups = static_cast<std::uint32_t>(
+                std::atoi(value("--dgroups").c_str()));
+        } else if (arg == "--promotion") {
+            if (!parsePromotion(value("--promotion"), promotion))
+                fatal("unknown promotion policy");
+        } else if (arg == "--distance-repl") {
+            const std::string v = value("--distance-repl");
+            if (v == "random")
+                drepl = DistanceRepl::Random;
+            else if (v == "lru")
+                drepl = DistanceRepl::LRU;
+            else if (v == "tree-plru")
+                drepl = DistanceRepl::TreePLRU;
+            else
+                fatal("unknown distance replacement '%s'", v.c_str());
+        } else if (arg == "--restriction") {
+            restriction = static_cast<std::uint32_t>(
+                std::atoi(value("--restriction").c_str()));
+        } else if (arg == "--multi-port") {
+            multi_port = true;
+        } else if (arg == "--ideal") {
+            ideal = true;
+        } else if (arg == "--search") {
+            if (!parseSearch(value("--search"), search))
+                fatal("unknown D-NUCA search policy");
+        } else if (arg == "--scale") {
+            scale = std::atof(value("--scale").c_str());
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else {
+            usage(argv[0]);
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    if (org == "base") {
+        spec = OrgSpec::baseline();
+    } else if (org == "dnuca") {
+        spec = OrgSpec::dnucaSsPerformance();
+        spec.dnuca.search = search;
+    } else if (org == "snuca") {
+        spec = OrgSpec::snucaDefault();
+    } else if (org == "sa-place") {
+        spec = OrgSpec::coupledSA();
+    } else if (org == "nurapid") {
+        spec = OrgSpec::nurapidDefault(dgroups, promotion, drepl);
+        spec.nurapid.frame_restriction = restriction;
+        spec.nurapid.single_port = !multi_port;
+        spec.nurapid.ideal_fastest = ideal;
+    } else {
+        fatal("unknown organization '%s' (try --list)", org.c_str());
+    }
+
+    SimLength length = SimLength::fromEnv();
+    if (scale > 0) {
+        length.warmup_records = static_cast<std::uint64_t>(
+            length.warmup_records * scale);
+        length.measure_records = static_cast<std::uint64_t>(
+            length.measure_records * scale);
+    }
+
+    const WorkloadProfile &profile = findProfile(benchmark);
+    std::printf("running '%s' on %s (%llu warmup + %llu measured "
+                "references)...\n", profile.name.c_str(),
+                spec.description().c_str(),
+                static_cast<unsigned long long>(length.warmup_records),
+                static_cast<unsigned long long>(length.measure_records));
+
+    System sys(spec, profile, length);
+    auto m = sys.runAll();
+
+    TextTable t;
+    t.header({"metric", "value"});
+    t.row({"IPC", TextTable::num(m.ipc, 3)});
+    t.row({"cycles", std::to_string(m.cycles)});
+    t.row({"instructions", std::to_string(m.instructions)});
+    t.row({"L2 demand accesses", std::to_string(m.l2_demand)});
+    t.row({"L2 accesses / kinst", TextTable::num(m.l2_apki, 1)});
+    t.row({"L2 miss ratio", TextTable::pct(m.miss_frac)});
+    t.row({"promotions", std::to_string(m.promotions)});
+    t.row({"demotions", std::to_string(m.demotions)});
+    t.row({"block moves", std::to_string(m.block_moves)});
+    t.row({"data-array accesses", std::to_string(m.data_array_accesses)});
+    t.row({"core+L1 energy (uJ)",
+           TextTable::num((m.energy.core_nj + m.energy.l1_nj) / 1000.0)});
+    t.row({"L2 energy (uJ)",
+           TextTable::num(m.energy.l2_cache_nj / 1000.0)});
+    t.row({"DRAM energy (uJ)",
+           TextTable::num(m.energy.memory_nj / 1000.0)});
+    t.row({"energy-delay (nJ*cyc)", strprintf("%.3e", m.energy.edp)});
+    t.print();
+
+    std::printf("\nhit distribution over latency regions:\n");
+    for (std::size_t g = 0; g < m.region_frac.size(); ++g) {
+        std::printf("  region %zu: %5.1f%%\n", g,
+                    100.0 * m.region_frac[g]);
+    }
+    std::printf("  miss:     %5.1f%%\n", 100.0 * m.miss_frac);
+
+    if (dump_stats) {
+        std::printf("\n%s", sys.lower().stats().dump().c_str());
+        std::printf("%s", sys.core().stats().dump().c_str());
+        std::printf("%s",
+                    sys.core().branchPredictor().stats().dump().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Trace record format shared by the workload generators and the core
+ * timing model.
+ *
+ * Records are memory-reference centric: one record per data reference,
+ * carrying the count of non-memory instructions executed since the
+ * previous reference and at most one branch event inside that gap.
+ */
+
+#ifndef NURAPID_TRACE_RECORD_HH
+#define NURAPID_TRACE_RECORD_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace nurapid {
+
+enum class TraceOp : std::uint8_t {
+    Load,
+    Store,
+    Ifetch,  //!< instruction-fetch reference (goes through the L1 I-cache)
+};
+
+struct TraceRecord
+{
+    Addr addr = 0;
+    TraceOp op = TraceOp::Load;
+    std::uint16_t inst_gap = 0;  //!< non-memory instructions before this
+    bool depends_on_prev = false; //!< value-dependent on the prior load
+                                  //!< (pointer chase / index load)
+    bool latency_critical = false; //!< feeds dependent work immediately;
+                                   //!< its latency cannot hide under the
+                                   //!< out-of-order window
+    bool has_branch = false;     //!< the gap contained a branch
+    bool branch_taken = false;
+    std::uint32_t branch_pc = 0; //!< static branch identity
+};
+
+/** Pull interface for trace producers (synthetic streams never end). */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produces the next record; returns false at end-of-trace. */
+    virtual bool next(TraceRecord &record) = 0;
+
+    /** Restarts the stream from its initial state. */
+    virtual void reset() = 0;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_TRACE_RECORD_HH

@@ -1,0 +1,153 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace nurapid {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'R', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kRecordBytes = 16;
+
+struct PackedRecord
+{
+    std::uint64_t addr;
+    std::uint16_t inst_gap;
+    std::uint8_t op;
+    std::uint8_t flags;
+    std::uint32_t branch_pc;
+};
+static_assert(sizeof(PackedRecord) == kRecordBytes,
+              "packed trace record must be 16 bytes");
+
+PackedRecord
+pack(const TraceRecord &r)
+{
+    PackedRecord p;
+    p.addr = r.addr;
+    p.inst_gap = r.inst_gap;
+    p.op = static_cast<std::uint8_t>(r.op);
+    p.flags = static_cast<std::uint8_t>(
+        (r.depends_on_prev ? 1u : 0u) | (r.latency_critical ? 2u : 0u) |
+        (r.has_branch ? 4u : 0u) | (r.branch_taken ? 8u : 0u));
+    p.branch_pc = r.branch_pc;
+    return p;
+}
+
+TraceRecord
+unpack(const PackedRecord &p)
+{
+    TraceRecord r;
+    r.addr = p.addr;
+    r.inst_gap = p.inst_gap;
+    r.op = static_cast<TraceOp>(p.op);
+    r.depends_on_prev = p.flags & 1u;
+    r.latency_critical = p.flags & 2u;
+    r.has_branch = p.flags & 4u;
+    r.branch_taken = p.flags & 8u;
+    r.branch_pc = p.branch_pc;
+    return r;
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &file_path)
+    : path(file_path)
+{
+    file = std::fopen(path.c_str(), "wb");
+    fatal_if(!file, "cannot open trace file '%s' for writing",
+             path.c_str());
+    // Placeholder header; the count is patched in close().
+    char header[kHeaderBytes] = {};
+    std::memcpy(header, kMagic, 4);
+    std::memcpy(header + 4, &kVersion, 4);
+    fatal_if(std::fwrite(header, 1, kHeaderBytes, file) != kHeaderBytes,
+             "short write on trace header");
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    close();
+}
+
+void
+TraceFileWriter::append(const TraceRecord &record)
+{
+    panic_if(!file, "append to a closed trace writer");
+    const PackedRecord p = pack(record);
+    fatal_if(std::fwrite(&p, 1, kRecordBytes, file) != kRecordBytes,
+             "short write on trace record");
+    ++count;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!file)
+        return;
+    std::fseek(file, 8, SEEK_SET);
+    fatal_if(std::fwrite(&count, 1, 8, file) != 8,
+             "cannot patch trace record count");
+    std::fclose(file);
+    file = nullptr;
+}
+
+FileTraceSource::FileTraceSource(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "rb");
+    fatal_if(!file, "cannot open trace file '%s'", path.c_str());
+    char header[kHeaderBytes];
+    fatal_if(std::fread(header, 1, kHeaderBytes, file) != kHeaderBytes,
+             "trace file '%s' is truncated", path.c_str());
+    fatal_if(std::memcmp(header, kMagic, 4) != 0,
+             "'%s' is not a NuRAPID trace file", path.c_str());
+    std::uint32_t version;
+    std::memcpy(&version, header + 4, 4);
+    fatal_if(version != kVersion,
+             "trace file version %u unsupported (expected %u)", version,
+             kVersion);
+    std::memcpy(&total, header + 8, 8);
+}
+
+FileTraceSource::~FileTraceSource()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+FileTraceSource::next(TraceRecord &record)
+{
+    if (read_so_far >= total)
+        return false;
+    PackedRecord p;
+    fatal_if(std::fread(&p, 1, kRecordBytes, file) != kRecordBytes,
+             "trace file truncated mid-record");
+    record = unpack(p);
+    ++read_so_far;
+    return true;
+}
+
+void
+FileTraceSource::reset()
+{
+    std::fseek(file, kHeaderBytes, SEEK_SET);
+    read_so_far = 0;
+}
+
+void
+captureTrace(TraceSource &source, const std::string &path,
+             std::uint64_t records)
+{
+    TraceFileWriter writer(path);
+    TraceRecord r;
+    for (std::uint64_t i = 0; i < records && source.next(r); ++i)
+        writer.append(r);
+    writer.close();
+}
+
+} // namespace nurapid

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Binary trace-file writer/reader.
+ *
+ * Lets users capture a synthetic stream once and replay it (or bring
+ * their own traces from a real machine) instead of regenerating
+ * addresses on the fly. The format is a fixed 16-byte header followed
+ * by packed little-endian records:
+ *
+ *   header:  magic "NRPT" | u32 version | u64 record count
+ *   record:  u64 addr | u16 inst_gap | u8 op | u8 flags | u32 branch_pc
+ *            flags: bit0 depends_on_prev, bit1 latency_critical,
+ *                   bit2 has_branch, bit3 branch_taken
+ */
+
+#ifndef NURAPID_TRACE_TRACE_FILE_HH
+#define NURAPID_TRACE_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+
+#include "trace/record.hh"
+
+namespace nurapid {
+
+/** Streams records into a trace file. */
+class TraceFileWriter
+{
+  public:
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void append(const TraceRecord &record);
+
+    /** Finalizes the header; called automatically on destruction. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return count; }
+
+  private:
+    std::FILE *file = nullptr;
+    std::string path;
+    std::uint64_t count = 0;
+};
+
+/** Replays a trace file; rewinds on reset(). */
+class FileTraceSource : public TraceSource
+{
+  public:
+    explicit FileTraceSource(const std::string &path);
+    ~FileTraceSource() override;
+
+    FileTraceSource(const FileTraceSource &) = delete;
+    FileTraceSource &operator=(const FileTraceSource &) = delete;
+
+    bool next(TraceRecord &record) override;
+    void reset() override;
+
+    std::uint64_t recordCount() const { return total; }
+
+  private:
+    std::FILE *file = nullptr;
+    std::uint64_t total = 0;
+    std::uint64_t read_so_far = 0;
+};
+
+/** Captures @p records from @p source into @p path. */
+void captureTrace(TraceSource &source, const std::string &path,
+                  std::uint64_t records);
+
+} // namespace nurapid
+
+#endif // NURAPID_TRACE_TRACE_FILE_HH

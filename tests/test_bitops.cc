@@ -1,0 +1,94 @@
+/** @file Unit tests for common/bitops.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace nurapid {
+namespace {
+
+TEST(BitOps, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+    EXPECT_TRUE(isPowerOf2(1ull << 63));
+}
+
+TEST(BitOps, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~0ull), 63u);
+}
+
+TEST(BitOps, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1ull << 50), 50u);
+    EXPECT_EQ(ceilLog2((1ull << 50) + 1), 51u);
+}
+
+TEST(BitOps, BitsFor)
+{
+    // bitsFor(n) must be able to enumerate n distinct values.
+    EXPECT_EQ(bitsFor(0), 0u);
+    EXPECT_EQ(bitsFor(1), 0u);
+    EXPECT_EQ(bitsFor(2), 1u);
+    EXPECT_EQ(bitsFor(4), 2u);
+    EXPECT_EQ(bitsFor(5), 3u);
+    // The paper's example: 64K frames need 16 bits.
+    EXPECT_EQ(bitsFor(65536), 16u);
+    // 256-frame restriction needs 8 bits.
+    EXPECT_EQ(bitsFor(256), 8u);
+}
+
+TEST(BitOps, BitsExtract)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffull);
+    EXPECT_EQ(bits(0xff00, 7, 0), 0x00ull);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadull);
+    EXPECT_EQ(bits(~0ull, 63, 0), ~0ull);
+}
+
+TEST(BitOps, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 8), 0ull);
+    EXPECT_EQ(roundUp(1, 8), 8ull);
+    EXPECT_EQ(roundUp(8, 8), 8ull);
+    EXPECT_EQ(roundUp(9, 8), 16ull);
+    EXPECT_EQ(roundUp(127, 128), 128ull);
+}
+
+class BlockAlignTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BlockAlignTest, AlignsToBlock)
+{
+    const unsigned block = GetParam();
+    for (Addr a : {Addr{0}, Addr{1}, Addr{block - 1}, Addr{block},
+                   Addr{block + 1}, Addr{0x123456789abcull}}) {
+        const Addr aligned = blockAlign(a, block);
+        EXPECT_EQ(aligned % block, 0u);
+        EXPECT_LE(aligned, a);
+        EXPECT_LT(a - aligned, block);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockAlignTest,
+                         ::testing::Values(32u, 64u, 128u, 256u));
+
+} // namespace
+} // namespace nurapid

@@ -1,0 +1,85 @@
+/** @file Tests for the 2-level hybrid branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "cpu/branch_predictor.hh"
+
+namespace nurapid {
+namespace {
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    int correct = 0;
+    for (int i = 0; i < 1000; ++i)
+        correct += bp.predictAndUpdate(0x400000, true);
+    EXPECT_GT(correct, 990);
+    EXPECT_GT(bp.accuracy(), 0.99);
+}
+
+TEST(BranchPredictor, LearnsLoopPattern)
+{
+    // TTTN repeating: gshare + history should learn it near-perfectly.
+    BranchPredictor bp;
+    int correct = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const bool taken = (i % 4) != 3;
+        correct += bp.predictAndUpdate(0x400040, taken);
+    }
+    EXPECT_GT(correct / double(n), 0.95);
+}
+
+TEST(BranchPredictor, RandomIsNearFiftyPercent)
+{
+    BranchPredictor bp;
+    Rng rng(21);
+    int correct = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        correct += bp.predictAndUpdate(0x400080, rng.chance(0.5));
+    EXPECT_NEAR(correct / double(n), 0.5, 0.05);
+}
+
+TEST(BranchPredictor, BiasedBranchTracksBias)
+{
+    BranchPredictor bp;
+    Rng rng(22);
+    int correct = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        correct += bp.predictAndUpdate(0x4000c0, rng.chance(0.8));
+    // Bimodal should capture the 80% bias (gshare noise tolerated).
+    EXPECT_GT(correct / double(n), 0.70);
+}
+
+TEST(BranchPredictor, ManyIndependentBranches)
+{
+    // Aliasing pressure: 512 static branches, half always-taken, half
+    // never-taken, interleaved.
+    BranchPredictor bp;
+    int correct = 0;
+    const int rounds = 50;
+    for (int r = 0; r < rounds; ++r) {
+        for (int b = 0; b < 512; ++b) {
+            const bool taken = b % 2 == 0;
+            correct += bp.predictAndUpdate(0x400000 + b * 4, taken);
+        }
+    }
+    EXPECT_GT(correct / double(rounds * 512), 0.9);
+}
+
+TEST(BranchPredictor, StatsCount)
+{
+    BranchPredictor bp;
+    bp.predictAndUpdate(0x1000, true);
+    bp.predictAndUpdate(0x1000, true);
+    EXPECT_EQ(bp.stats().counterValue("predictions"), 2u);
+    bp.resetStats();
+    EXPECT_EQ(bp.stats().counterValue("predictions"), 0u);
+    EXPECT_DOUBLE_EQ(bp.accuracy(), 1.0);
+}
+
+} // namespace
+} // namespace nurapid

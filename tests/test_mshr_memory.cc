@@ -1,0 +1,85 @@
+/** @file Unit tests for the MSHR file and main-memory model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+#include "mem/mshr.hh"
+
+namespace nurapid {
+namespace {
+
+TEST(Mshr, AllocateTrackRetire)
+{
+    MshrFile m(2, 64);
+    EXPECT_FALSE(m.full());
+    m.allocate(0x100, 50);
+    EXPECT_TRUE(m.tracks(0x100));
+    EXPECT_TRUE(m.tracks(0x13f));   // same 64 B block
+    EXPECT_FALSE(m.tracks(0x140));
+    EXPECT_EQ(m.readyAt(0x100), 50u);
+    m.allocate(0x200, 70);
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.nextRetirement(), 50u);
+    m.retire(49);
+    EXPECT_TRUE(m.full());
+    m.retire(50);
+    EXPECT_FALSE(m.full());
+    EXPECT_FALSE(m.tracks(0x100));
+    EXPECT_TRUE(m.tracks(0x200));
+    EXPECT_EQ(m.live(), 1u);
+}
+
+TEST(Mshr, NextRetirementEmpty)
+{
+    MshrFile m(4, 64);
+    EXPECT_EQ(m.nextRetirement(), kNeverCycle);
+}
+
+TEST(MshrDeath, DuplicateAllocationPanics)
+{
+    MshrFile m(4, 64);
+    m.allocate(0x100, 10);
+    EXPECT_DEATH(m.allocate(0x120, 20), "duplicate");
+}
+
+TEST(MshrDeath, ReadyAtUntrackedPanics)
+{
+    MshrFile m(4, 64);
+    EXPECT_DEATH(m.readyAt(0x500), "untracked");
+}
+
+TEST(MainMemory, LatencyFormula)
+{
+    // Table 1: 130 cycles + 4 cycles per 8 bytes.
+    MainMemory mem;
+    EXPECT_EQ(mem.latency(128), 130u + 4u * 16u);
+    EXPECT_EQ(mem.latency(32), 130u + 4u * 4u);
+    EXPECT_EQ(mem.latency(8), 134u);
+    EXPECT_EQ(mem.latency(1), 134u);  // rounds up to one beat
+}
+
+TEST(MainMemory, EnergyAndCounters)
+{
+    MainMemory mem;
+    mem.read(128);
+    mem.write(128);
+    mem.write(128);
+    EXPECT_EQ(mem.stats().counterValue("reads"), 1u);
+    EXPECT_EQ(mem.stats().counterValue("writes"), 2u);
+    EXPECT_GT(mem.dynamicEnergyNJ(), 0.0);
+    mem.resetStats();
+    EXPECT_EQ(mem.stats().counterValue("reads"), 0u);
+    EXPECT_DOUBLE_EQ(mem.dynamicEnergyNJ(), 0.0);
+}
+
+TEST(MainMemory, CustomParams)
+{
+    MainMemory::Params p;
+    p.base_latency = 100;
+    p.cycles_per_8b = 2;
+    MainMemory mem(p);
+    EXPECT_EQ(mem.latency(16), 104u);
+}
+
+} // namespace
+} // namespace nurapid

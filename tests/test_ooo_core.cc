@@ -1,0 +1,245 @@
+/** @file Tests for the trace-driven out-of-order core timing model. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cpu/ooo_core.hh"
+#include "mem/conventional_l2l3.hh"
+#include "sim/config.hh"
+#include "timing/geometry.hh"
+
+namespace nurapid {
+namespace {
+
+/** Scripted trace source for precise timing checks. */
+class ScriptedTrace : public TraceSource
+{
+  public:
+    std::vector<TraceRecord> records;
+    std::size_t pos = 0;
+
+    bool
+    next(TraceRecord &r) override
+    {
+        if (pos >= records.size())
+            return false;
+        r = records[pos++];
+        return true;
+    }
+
+    void reset() override { pos = 0; }
+};
+
+/** Fixed-latency lower memory for controlled experiments. */
+class FixedLower : public LowerMemory
+{
+  public:
+    explicit FixedLower(Cycles lat) : lat_(lat), stats_("fixed") {}
+
+    Result
+    access(Addr, AccessType type, Cycle) override
+    {
+        if (type != AccessType::Writeback)
+            ++count;
+        return {type == AccessType::Writeback ? Cycles{0} : lat_, true};
+    }
+
+    EnergyNJ dynamicEnergyNJ() const override { return 0; }
+    EnergyNJ cacheEnergyNJ() const override { return 0; }
+    const std::string &name() const override { return name_; }
+    StatGroup &stats() override { return stats_; }
+    const Histogram &regionHits() const override { return hist_; }
+    void resetStats() override {}
+
+    std::uint64_t count = 0;
+
+  private:
+    Cycles lat_;
+    std::string name_ = "fixed";
+    StatGroup stats_;
+    Histogram hist_{1};
+};
+
+struct Rig
+{
+    SetAssocCache l1i{l1iOrg()};
+    SetAssocCache l1d{l1dOrg()};
+    std::unique_ptr<FixedLower> lower;
+    std::unique_ptr<OooCore> core;
+
+    explicit Rig(Cycles l2_lat, CoreParams p = defaultCoreParams())
+        : lower(std::make_unique<FixedLower>(l2_lat)),
+          core(std::make_unique<OooCore>(p, l1i, l1d, *lower))
+    {
+    }
+};
+
+TraceRecord
+load(Addr a, std::uint16_t gap = 10, bool dep = false,
+     bool critical = false)
+{
+    TraceRecord r;
+    r.addr = a;
+    r.op = TraceOp::Load;
+    r.inst_gap = gap;
+    r.depends_on_prev = dep;
+    r.latency_critical = critical;
+    return r;
+}
+
+TEST(OooCore, IdealIpcBoundedByWidth)
+{
+    Rig rig(10);
+    ScriptedTrace t;
+    for (int i = 0; i < 5000; ++i)
+        t.records.push_back(load(0x1000, 15));  // always same L1 block
+    rig.core->run(t, t.records.size());
+    EXPECT_LE(rig.core->ipc(), 8.0 + 1e-9);
+    EXPECT_GT(rig.core->ipc(), 7.0);  // L1 hits fully hidden
+}
+
+TEST(OooCore, HigherL2LatencyLowersIpc)
+{
+    double prev_ipc = 100.0;
+    for (Cycles lat : {Cycles{10}, Cycles{50}, Cycles{200}}) {
+        Rig rig(lat);
+        ScriptedTrace t;
+        Rng rng(3);
+        for (int i = 0; i < 20000; ++i) {
+            // Stream of distinct critical loads -> all L1 misses.
+            t.records.push_back(load(Addr{0x100000} + i * 4096, 6,
+                                     false, true));
+        }
+        rig.core->run(t, t.records.size());
+        EXPECT_LT(rig.core->ipc(), prev_ipc);
+        prev_ipc = rig.core->ipc();
+    }
+}
+
+TEST(OooCore, DefaultMshrsDoNotMergeSectors)
+{
+    // Default (32 B, SimpleScalar-style) MSHRs: each L1-block sector
+    // of a streamed 128 B L2 block is its own L2 access — the burst
+    // traffic that loads D-NUCA's banks.
+    Rig rig(100);
+    ScriptedTrace t;
+    for (int i = 0; i < 8; ++i)
+        t.records.push_back(load(0x200000 + i * 32, 1));
+    rig.core->run(t, t.records.size());
+    EXPECT_EQ(rig.lower->count, 8u);
+    EXPECT_EQ(rig.core->mshrFile().stats().counterValue("merges"), 0u);
+}
+
+TEST(OooCore, WideMshrsMergeSectorsOfOneL2Block)
+{
+    CoreParams p = defaultCoreParams();
+    p.mshr_block_bytes = 128;  // sector-merging MSHRs
+    Rig rig(100, p);
+    ScriptedTrace t;
+    // Two 128 B L2 blocks, four 32 B sectors each: two lower accesses,
+    // six merges.
+    for (int i = 0; i < 8; ++i)
+        t.records.push_back(load(0x200000 + i * 32, 1));
+    rig.core->run(t, t.records.size());
+    EXPECT_EQ(rig.lower->count, 2u);
+    EXPECT_EQ(rig.core->mshrFile().stats().counterValue("merges"), 6u);
+}
+
+TEST(OooCore, MshrFullStalls)
+{
+    CoreParams p = defaultCoreParams();
+    p.mshrs = 2;
+    Rig rig(400, p);
+    ScriptedTrace t;
+    for (int i = 0; i < 32; ++i)
+        t.records.push_back(load(Addr{0x300000} + i * 8192, 1));
+    rig.core->run(t, t.records.size());
+    EXPECT_GT(rig.core->mshrFile().stats().counterValue("full_stalls"),
+              0u);
+}
+
+TEST(OooCore, DependentChainSerializes)
+{
+    // Two traces, same loads; in one each load depends on the prior.
+    auto run = [&](bool dep) {
+        Rig rig(60);
+        ScriptedTrace t;
+        for (int i = 0; i < 2000; ++i)
+            t.records.push_back(load(Addr{0x400000} + i * 4096, 2, dep));
+        rig.core->run(t, t.records.size());
+        return rig.core->cycles();
+    };
+    EXPECT_GT(run(true), run(false) * 3 / 2);
+}
+
+TEST(OooCore, MispredictsAddPenalty)
+{
+    auto run = [&](bool predictable) {
+        Rig rig(10);
+        ScriptedTrace t;
+        Rng rng(5);
+        for (int i = 0; i < 4000; ++i) {
+            TraceRecord r = load(0x1000, 10);
+            r.has_branch = true;
+            r.branch_pc = 0x7000 + (i % 8) * 4;
+            r.branch_taken = predictable ? true : rng.chance(0.5);
+            t.records.push_back(r);
+        }
+        rig.core->run(t, t.records.size());
+        return rig.core->cycles();
+    };
+    EXPECT_GT(run(false), run(true) + 4000 / 2 * 9 / 2);
+}
+
+TEST(OooCore, WritebacksReachLowerMemory)
+{
+    Rig rig(20);
+    ScriptedTrace t;
+    // Write a stream large enough to force dirty L1 evictions.
+    for (int i = 0; i < 8000; ++i) {
+        TraceRecord r = load(Addr{0x500000} + i * 32, 4);
+        r.op = TraceOp::Store;
+        t.records.push_back(r);
+    }
+    rig.core->run(t, t.records.size());
+    EXPECT_GT(rig.l1d.stats().counterValue("writebacks"), 0u);
+}
+
+TEST(OooCore, ResetStatsKeepsAbsoluteTime)
+{
+    Rig rig(50);
+    ScriptedTrace t;
+    for (int i = 0; i < 3000; ++i)
+        t.records.push_back(load(Addr{0x600000} + i * 4096, 6));
+    rig.core->run(t, 1500);
+    const auto warm_cycles = rig.core->cycles();
+    EXPECT_GT(warm_cycles, 0u);
+    rig.core->resetStats();
+    EXPECT_EQ(rig.core->instructions(), 0u);
+    rig.core->run(t, 1500);
+    // Measured cycles must be on the order of the second half only.
+    EXPECT_LT(rig.core->cycles(), warm_cycles * 3 / 2);
+    EXPECT_GT(rig.core->ipc(), 0.0);
+}
+
+TEST(OooCore, IfetchGoesThroughL1I)
+{
+    Rig rig(30);
+    ScriptedTrace t;
+    for (int i = 0; i < 100; ++i) {
+        TraceRecord r;
+        r.op = TraceOp::Ifetch;
+        r.addr = 0xf0000000 + i * 32;
+        r.inst_gap = 3;
+        t.records.push_back(r);
+    }
+    rig.core->run(t, t.records.size());
+    EXPECT_EQ(rig.core->l1iAccesses(), 100u);
+    EXPECT_GT(rig.l1i.misses(), 0u);
+    EXPECT_EQ(rig.core->l1dAccesses(), 0u);
+}
+
+} // namespace
+} // namespace nurapid

@@ -1,0 +1,70 @@
+/** @file Tests for the Section 2.4.3 pointer-overhead arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include "nurapid/pointer_codec.hh"
+
+namespace nurapid {
+namespace {
+
+TEST(PointerCodec, PaperUnrestrictedExample)
+{
+    // "in an 8-MB cache with 128B blocks, 16-bit forward and reverse
+    // pointers would be required for complete flexibility. This
+    // amounts to 256-KB of pointers ... a 3% overhead."
+    auto l = computePointerLayout(8ull << 20, 128, 8, 4, 0);
+    EXPECT_EQ(l.forward_bits, 16u);   // 2 group bits + 14 frame bits
+    EXPECT_EQ(l.group_bits, 2u);
+    EXPECT_EQ(l.frame_bits, 14u);
+    EXPECT_EQ(l.reverse_bits, 16u);   // 13 set bits + 3 way bits
+    EXPECT_EQ(l.total_pointer_bytes, 256u * 1024u);
+    EXPECT_NEAR(l.pointer_overhead, 0.03, 0.005);
+}
+
+TEST(PointerCodec, PaperRestrictedExample)
+{
+    // "If our example cache has 4 d-groups, and we restrict placement
+    // of each block to 256 frames within each d-group, the pointer
+    // size is reduced to 10 bits."
+    auto l = computePointerLayout(8ull << 20, 128, 8, 4, 256);
+    EXPECT_EQ(l.forward_bits, 10u);
+    EXPECT_LT(l.pointer_overhead, 0.03);
+}
+
+TEST(PointerCodec, TagOverheadAroundFivePercent)
+{
+    // "the 51-bit tag entries for this 64-bit-address cache are a 5%
+    // overhead" — ours includes state bits; must land in that band.
+    auto l = computePointerLayout(8ull << 20, 128, 8, 4, 0, 64);
+    EXPECT_GT(l.tag_overhead, 0.035);
+    EXPECT_LT(l.tag_overhead, 0.065);
+}
+
+TEST(PointerCodec, LargerBlocksShrinkOverhead)
+{
+    // Section 2.4.3: "as block sizes increase, the size of the
+    // pointers ... will decrease."
+    auto small = computePointerLayout(8ull << 20, 64, 8, 4, 0);
+    auto large = computePointerLayout(8ull << 20, 256, 8, 4, 0);
+    EXPECT_LT(large.pointer_overhead, small.pointer_overhead);
+    EXPECT_LT(large.forward_bits, small.forward_bits);
+}
+
+TEST(PointerCodec, MoreDGroupsMoreGroupBits)
+{
+    auto g2 = computePointerLayout(8ull << 20, 128, 8, 2, 0);
+    auto g8 = computePointerLayout(8ull << 20, 128, 8, 8, 0);
+    EXPECT_EQ(g2.group_bits, 1u);
+    EXPECT_EQ(g8.group_bits, 3u);
+    // Total forward width is constant: fewer groups means more frames
+    // per group.
+    EXPECT_EQ(g2.forward_bits, g8.forward_bits);
+}
+
+TEST(PointerCodecDeath, DegenerateQueryIsFatal)
+{
+    EXPECT_DEATH(computePointerLayout(0, 128, 8, 4), "degenerate");
+}
+
+} // namespace
+} // namespace nurapid

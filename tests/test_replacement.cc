@@ -1,0 +1,118 @@
+/** @file Unit tests for replacement policies. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mem/replacement.hh"
+
+namespace nurapid {
+namespace {
+
+TEST(Lru, EvictsLeastRecentlyTouched)
+{
+    LruReplacer lru(1, 4);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    lru.touch(0, 2);
+    lru.touch(0, 3);
+    EXPECT_EQ(lru.victim(0), 0u);
+    lru.touch(0, 0);
+    EXPECT_EQ(lru.victim(0), 1u);
+}
+
+TEST(Lru, OlderPredicate)
+{
+    LruReplacer lru(1, 2);
+    lru.touch(0, 1);
+    lru.touch(0, 0);
+    EXPECT_TRUE(lru.older(0, 1, 0));
+    EXPECT_FALSE(lru.older(0, 0, 1));
+}
+
+TEST(Lru, SetsAreIndependent)
+{
+    LruReplacer lru(2, 2);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    lru.touch(1, 1);
+    lru.touch(1, 0);
+    EXPECT_EQ(lru.victim(0), 0u);
+    EXPECT_EQ(lru.victim(1), 1u);
+}
+
+TEST(Random, DeterministicForSeed)
+{
+    RandomReplacer a(8, 42), b(8, 42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.victim(0), b.victim(0));
+}
+
+TEST(Random, CoversAllWays)
+{
+    RandomReplacer r(8, 7);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(r.victim(0));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+class TreePlruTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(TreePlruTest, VictimNeverMostRecentlyTouched)
+{
+    const std::uint32_t ways = GetParam();
+    TreePlruReplacer plru(1, ways);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint32_t w = rng.below(ways);
+        plru.touch(0, w);
+        EXPECT_NE(plru.victim(0), w);
+    }
+}
+
+TEST_P(TreePlruTest, TouchAllThenVictimIsFirstTouched)
+{
+    const std::uint32_t ways = GetParam();
+    TreePlruReplacer plru(1, ways);
+    for (std::uint32_t w = 0; w < ways; ++w)
+        plru.touch(0, w);
+    // Tree-PLRU approximates LRU: after touching 0..n-1 in order, the
+    // victim must come from the older half of the touch sequence.
+    EXPECT_LT(plru.victim(0), ways / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, TreePlruTest,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(Factory, CreatesEachKind)
+{
+    auto lru = Replacer::create(ReplPolicy::LRU, 4, 4);
+    auto rnd = Replacer::create(ReplPolicy::Random, 4, 4, 9);
+    auto plru = Replacer::create(ReplPolicy::TreePLRU, 4, 4);
+    ASSERT_NE(lru, nullptr);
+    ASSERT_NE(rnd, nullptr);
+    ASSERT_NE(plru, nullptr);
+    lru->touch(0, 1);
+    EXPECT_LT(rnd->victim(2), 4u);
+    EXPECT_LT(plru->victim(3), 4u);
+}
+
+TEST(FactoryDeath, TreePlruRequiresPow2Ways)
+{
+    EXPECT_DEATH(Replacer::create(ReplPolicy::TreePLRU, 4, 3),
+                 "power-of-two");
+}
+
+TEST(PolicyNames, AreStable)
+{
+    EXPECT_STREQ(replPolicyName(ReplPolicy::LRU), "lru");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::Random), "random");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::TreePLRU), "tree-plru");
+}
+
+} // namespace
+} // namespace nurapid

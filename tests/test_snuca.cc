@@ -1,0 +1,126 @@
+/** @file Tests for the static-NUCA baseline. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "nuca/snuca.hh"
+#include "timing/geometry.hh"
+
+namespace nurapid {
+namespace {
+
+const SramMacroModel &
+model()
+{
+    static SramMacroModel m(TechParams::the70nm());
+    return m;
+}
+
+SNucaCache::Params
+smallParams()
+{
+    SNucaCache::Params p;
+    p.capacity_bytes = 256 * 1024;
+    p.assoc = 4;
+    p.block_bytes = 128;
+    p.rows = 8;
+    p.cols = 4;
+    return p;
+}
+
+TEST(SNuca, MissThenHit)
+{
+    SNucaCache c(model(), smallParams());
+    EXPECT_FALSE(c.access(0x0, AccessType::Read, 0).hit);
+    EXPECT_TRUE(c.access(0x0, AccessType::Read, 1000).hit);
+}
+
+TEST(SNuca, StaticMappingIsByBlockAddress)
+{
+    auto p = smallParams();
+    SNucaCache c(model(), p);
+    const std::uint32_t banks = p.rows * p.cols;
+    // Consecutive blocks round-robin across banks.
+    for (std::uint32_t i = 0; i < 2 * banks; ++i)
+        EXPECT_EQ(c.bankOf(Addr{i} * p.block_bytes), i % banks);
+    // Same block, any offset: same bank.
+    EXPECT_EQ(c.bankOf(0x480), c.bankOf(0x4ff));
+}
+
+TEST(SNuca, LatencyDependsOnBankRowNotAccessHistory)
+{
+    auto p = smallParams();
+    SNucaCache c(model(), p);
+    // A block mapping to the slowest row keeps its slow latency no
+    // matter how often it is hit — the static design's weakness.
+    const std::uint32_t banks = p.rows * p.cols;
+    const Addr far_block = Addr{(p.rows - 1) * p.cols} * p.block_bytes;
+    ASSERT_EQ(c.bankOf(far_block) / p.cols, p.rows - 1);
+    c.access(far_block, AccessType::Read, 0);
+    Cycles first = 0;
+    for (int i = 1; i <= 5; ++i) {
+        auto r = c.access(far_block, AccessType::Read,
+                          Cycle{1000} * i);
+        ASSERT_TRUE(r.hit);
+        if (first == 0)
+            first = r.latency;
+        EXPECT_EQ(r.latency, first);
+    }
+    EXPECT_EQ(first,
+              c.timing().bank(p.rows - 1, c.bankOf(far_block) % p.cols)
+                  .latency);
+    (void)banks;
+}
+
+TEST(SNuca, NoMigrationEver)
+{
+    SNucaCache c(model(), smallParams());
+    Rng rng(3);
+    Cycle now = 0;
+    for (int i = 0; i < 20000; ++i) {
+        now += 20;
+        c.access(rng.below64(512 * 1024) & ~Addr{127}, AccessType::Read,
+                 now);
+    }
+    // No promotion/swap counters exist; hits+misses account for all
+    // demand accesses.
+    const auto &s = c.stats();
+    EXPECT_EQ(s.counterValue("hits") + s.counterValue("misses"),
+              s.counterValue("demand_accesses"));
+}
+
+TEST(SNuca, DirtyEvictionsReachMemory)
+{
+    auto p = smallParams();
+    p.assoc = 1;
+    SNucaCache c(model(), p);
+    const std::uint32_t banks = p.rows * p.cols;
+    const Addr bank_set_stride =
+        Addr{banks} * p.block_bytes * (p.capacity_bytes / banks /
+                                       p.block_bytes / p.assoc);
+    c.access(0x0, AccessType::Write, 0);
+    c.access(bank_set_stride, AccessType::Read, 1000);  // conflicts
+    EXPECT_GE(c.memory().stats().counterValue("writes"), 1u);
+}
+
+TEST(SNuca, WritebacksOffCriticalPath)
+{
+    SNucaCache c(model(), smallParams());
+    auto r = c.access(0x40, AccessType::Writeback, 0);
+    EXPECT_EQ(r.latency, 0u);
+    EXPECT_EQ(c.stats().counterValue("demand_accesses"), 0u);
+    EXPECT_EQ(c.stats().counterValue("writeback_accesses"), 1u);
+}
+
+TEST(SNuca, EnergyAccumulates)
+{
+    SNucaCache c(model(), smallParams());
+    c.access(0x0, AccessType::Read, 0);
+    EXPECT_GT(c.cacheEnergyNJ(), 0.0);
+    EXPECT_GE(c.dynamicEnergyNJ(), c.cacheEnergyNJ());
+    c.resetStats();
+    EXPECT_DOUBLE_EQ(c.cacheEnergyNJ(), 0.0);
+}
+
+} // namespace
+} // namespace nurapid

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Regression anchors for the physical timing/energy model against the
+ * paper's published numbers (Tables 2 and 4), plus structural
+ * properties of the floorplans and geometry curves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/floorplan.hh"
+#include "timing/geometry.hh"
+#include "timing/latency_tables.hh"
+
+namespace nurapid {
+namespace {
+
+constexpr std::uint64_t MB = 1024 * 1024;
+
+const SramMacroModel &
+model()
+{
+    static SramMacroModel m(TechParams::the70nm());
+    return m;
+}
+
+TEST(Tech, CycleRounding)
+{
+    const TechParams &t = TechParams::the70nm();
+    EXPECT_EQ(t.toCycles(0.2), 1u);
+    EXPECT_EQ(t.toCycles(0.29), 1u);
+    EXPECT_EQ(t.toCycles(0.31), 2u);
+    EXPECT_EQ(t.toCycles(0.0), 1u);  // minimum one cycle
+}
+
+TEST(Tech, WireEnergySuperlinear)
+{
+    const TechParams &t = TechParams::the70nm();
+    EXPECT_DOUBLE_EQ(t.wireBlockNJ(0.0), 0.0);
+    // Superlinear: doubling distance more than doubles energy.
+    EXPECT_GT(t.wireBlockNJ(8.0), 2.0 * t.wireBlockNJ(4.0));
+}
+
+TEST(Geometry, AccessTimeMonotonicInCapacity)
+{
+    double prev = 0;
+    for (std::uint64_t cap = 16 * 1024; cap <= 16 * MB; cap *= 2) {
+        const double ns = model().dataAccessNs(cap);
+        EXPECT_GT(ns, prev) << "capacity " << cap;
+        prev = ns;
+    }
+}
+
+TEST(Geometry, EnergyMonotonicInCapacity)
+{
+    double prev = 0;
+    for (std::uint64_t cap = 16 * 1024; cap <= 16 * MB; cap *= 2) {
+        const double nj = model().dataReadNJ(cap);
+        EXPECT_GT(nj, prev);
+        prev = nj;
+    }
+}
+
+TEST(Geometry, WriteNearRead)
+{
+    const double r = model().dataReadNJ(2 * MB);
+    const double w = model().dataWriteNJ(2 * MB);
+    EXPECT_GT(w, r);
+    EXPECT_LT(w, 1.2 * r);
+}
+
+TEST(Geometry, TagSlowerWithAssociativity)
+{
+    EXPECT_GT(model().tagAccessNs(65536, 16),
+              model().tagAccessNs(65536, 2));
+    EXPECT_GT(model().tagAccessNJ(65536, 16),
+              model().tagAccessNJ(65536, 2));
+}
+
+TEST(Geometry, PaperTagLatency)
+{
+    // Section 5.1: the 8 MB 8-way tag probes in 8 cycles (we land
+    // within one cycle).
+    const double ns = model().tagAccessNs(8 * MB / 128, 8);
+    const auto cycles = TechParams::the70nm().toCycles(ns);
+    EXPECT_GE(cycles, 7u);
+    EXPECT_LE(cycles, 8u);
+}
+
+TEST(Floorplan, LShapeDistancesIncrease)
+{
+    LShapeFloorplan plan(model(), {2 * MB, 2 * MB, 2 * MB, 2 * MB});
+    for (std::size_t g = 1; g < 4; ++g)
+        EXPECT_GT(plan.routeMm(g), plan.routeMm(g - 1));
+    EXPECT_GT(plan.farEdgeMm(), plan.routeMm(3));
+}
+
+TEST(Floorplan, BetweenIsSymmetricMetric)
+{
+    LShapeFloorplan plan(model(), {2 * MB, 2 * MB, 2 * MB, 2 * MB});
+    for (std::size_t a = 0; a < 4; ++a) {
+        EXPECT_DOUBLE_EQ(plan.betweenMm(a, a), 0.0);
+        for (std::size_t b = 0; b < 4; ++b)
+            EXPECT_DOUBLE_EQ(plan.betweenMm(a, b), plan.betweenMm(b, a));
+    }
+}
+
+TEST(Floorplan, BankGridMonotonic)
+{
+    BankGridFloorplan grid(model(), 8, 16, 64 * 1024);
+    for (unsigned r = 1; r < 8; ++r)
+        EXPECT_GT(grid.verticalMm(r), grid.verticalMm(r - 1));
+    // Horizontal distance is symmetric around the center columns.
+    EXPECT_DOUBLE_EQ(grid.horizontalMm(0), grid.horizontalMm(15));
+    EXPECT_LT(grid.horizontalMm(7), grid.horizontalMm(0));
+}
+
+/** Table 4 anchor: fastest d-group latency per configuration. */
+struct FastestCase
+{
+    unsigned dgroups;
+    Cycles expected;
+};
+
+class Table4Fastest : public ::testing::TestWithParam<FastestCase>
+{
+};
+
+TEST_P(Table4Fastest, MatchesPaper)
+{
+    const auto [dgroups, expected] = GetParam();
+    auto t = makeNuRapidTiming(model(), 8 * MB, dgroups, 8, 128);
+    EXPECT_EQ(t.dgroups[0].total_latency, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, Table4Fastest,
+                         ::testing::Values(FastestCase{2, 19},
+                                           FastestCase{4, 14},
+                                           FastestCase{8, 12}));
+
+TEST(Table4, LatenciesMonotonicWithinConfig)
+{
+    for (unsigned ndg : {2u, 4u, 8u}) {
+        auto t = makeNuRapidTiming(model(), 8 * MB, ndg, 8, 128);
+        for (unsigned g = 1; g < ndg; ++g) {
+            EXPECT_GT(t.dgroups[g].total_latency,
+                      t.dgroups[g - 1].total_latency);
+        }
+    }
+}
+
+TEST(Table4, SlowestIncreasesWithDGroupCount)
+{
+    // Section 5.1: "as the number of d-groups increases, the latency
+    // of the slowest megabyte increases".
+    auto t2 = makeNuRapidTiming(model(), 8 * MB, 2, 8, 128);
+    auto t4 = makeNuRapidTiming(model(), 8 * MB, 4, 8, 128);
+    auto t8 = makeNuRapidTiming(model(), 8 * MB, 8, 8, 128);
+    EXPECT_LT(t2.dgroups.back().total_latency,
+              t4.dgroups.back().total_latency);
+    EXPECT_LT(t4.dgroups.back().total_latency,
+              t8.dgroups.back().total_latency);
+}
+
+TEST(Table4, DNucaPerMBAverages)
+{
+    // Paper: averages ramp from ~7 (1st MB) to ~29 (8th MB).
+    auto t = makeDNucaTiming(model(), 8 * MB, 8, 16, 128);
+    EXPECT_NEAR(t.avgLatencyOfMB(0), 7.0, 1.5);
+    EXPECT_NEAR(t.avgLatencyOfMB(7), 29.0, 2.0);
+    for (unsigned r = 1; r < 8; ++r)
+        EXPECT_GT(t.avgLatencyOfMB(r), t.avgLatencyOfMB(r - 1));
+}
+
+TEST(Table4, DNucaRangesBracketAverages)
+{
+    auto t = makeDNucaTiming(model(), 8 * MB, 8, 16, 128);
+    for (unsigned r = 0; r < 8; ++r) {
+        EXPECT_LE(t.minLatencyOfMB(r), t.avgLatencyOfMB(r));
+        EXPECT_GE(t.maxLatencyOfMB(r), t.avgLatencyOfMB(r));
+        EXPECT_LT(t.minLatencyOfMB(r), t.maxLatencyOfMB(r));
+    }
+}
+
+TEST(Table2, NuRapid4DGroupEnergies)
+{
+    // Paper: closest of 4 x 2 MB = 0.42 nJ; farthest = 3.3 nJ.
+    auto t = makeNuRapidTiming(model(), 8 * MB, 4, 8, 128);
+    EXPECT_NEAR(t.dgroups.front().read_nj, 0.42, 0.10);
+    EXPECT_NEAR(t.dgroups.back().read_nj, 3.3, 0.50);
+}
+
+TEST(Table2, NuRapid8DGroupEnergies)
+{
+    // Paper: closest of 8 x 1 MB = 0.40 nJ; farthest = 4.6 nJ.
+    auto t = makeNuRapidTiming(model(), 8 * MB, 8, 8, 128);
+    EXPECT_NEAR(t.dgroups.front().read_nj, 0.40, 0.10);
+    EXPECT_NEAR(t.dgroups.back().read_nj, 4.6, 0.90);
+}
+
+TEST(Table2, DNucaBankAndSmartSearchEnergies)
+{
+    auto t = makeDNucaTiming(model(), 8 * MB, 8, 16, 128);
+    // Paper: closest 64 KB bank = 0.18 nJ; smart-search probe 0.19 nJ.
+    Cycles best = 0;
+    double closest_nj = 1e9;
+    (void)best;
+    for (unsigned c = 0; c < 16; ++c)
+        closest_nj = std::min(closest_nj, t.bank(0, c).access_nj);
+    EXPECT_NEAR(closest_nj, 0.18, 0.06);
+    EXPECT_NEAR(t.ss_access_nj, 0.19, 0.06);
+}
+
+TEST(Table2, L1DualPortEnergy)
+{
+    // Paper: 2 ports of the 64 KB 2-way L1 = 0.57 nJ.
+    auto l1 = makeUniformTiming(model(), 64 * 1024, 2, 32,
+                                /*sequential=*/false, /*ports=*/2, 3);
+    EXPECT_NEAR(l1.read_nj, 0.57, 0.12);
+}
+
+TEST(Uniform, SequentialSavesEnergyOverParallel)
+{
+    auto seq = makeUniformTiming(model(), MB, 8, 128, true);
+    auto par = makeUniformTiming(model(), MB, 8, 128, false);
+    EXPECT_LT(seq.read_nj, par.read_nj);
+    EXPECT_GE(seq.latency, par.latency);
+}
+
+TEST(Uniform, LatencyOverridePinsLatencyOnly)
+{
+    auto a = makeUniformTiming(model(), MB, 8, 128, true, 1, 11);
+    auto b = makeUniformTiming(model(), MB, 8, 128, true, 1, 0);
+    EXPECT_EQ(a.latency, 11u);
+    EXPECT_NE(b.latency, 0u);
+    EXPECT_DOUBLE_EQ(a.read_nj, b.read_nj);
+    EXPECT_GT(a.tag_latency, 0u);
+    EXPECT_LT(a.tag_latency, b.latency);
+}
+
+TEST(SwapCosts, BusyAndEnergyPositiveAndFartherCostsMore)
+{
+    auto t = makeNuRapidTiming(model(), 8 * MB, 4, 8, 128);
+    EXPECT_GT(t.swapBusy(0, 1), 0u);
+    EXPECT_GT(t.swapEnergy(0, 1), 0.0);
+    // Swapping with a farther d-group moves data over longer wires.
+    EXPECT_GT(t.swapEnergy(0, 3), t.swapEnergy(0, 1));
+    // Energy is symmetric in direction of the move's endpoints modulo
+    // read/write asymmetry; busy time is exactly symmetric.
+    EXPECT_EQ(t.swapBusy(1, 2), t.swapBusy(2, 1));
+}
+
+TEST(DNucaSwap, AdjacentRowSwapCostsFourRawBankOpsPlusTransfers)
+{
+    auto t = makeDNucaTiming(model(), 8 * MB, 8, 16, 128);
+    // A bubble swap = read + write in each of the two banks (raw,
+    // without core routing) plus the two inter-bank transfers.
+    const double e = t.swapEnergy(3, 4, 5);
+    EXPECT_GT(e, 4.0 * t.bank_raw_nj);
+    // But it must NOT be charged the core-route wire energy of two
+    // full accesses — adjacent banks exchange blocks locally.
+    EXPECT_LT(e, t.bank(7, 0).access_nj + t.bank(6, 0).access_nj);
+}
+
+} // namespace
+} // namespace nurapid

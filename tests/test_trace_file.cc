@@ -1,0 +1,104 @@
+/** @file Tests for the binary trace-file writer/reader. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/profiles.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_file.hh"
+
+namespace nurapid {
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/nurapid_trace_" + tag +
+        ".bin";
+}
+
+TEST(TraceFile, RoundTripPreservesRecords)
+{
+    const std::string path = tempPath("roundtrip");
+    const auto &profile = findProfile("applu");
+    SyntheticTrace gen(profile);
+    captureTrace(gen, path, 5000);
+
+    gen.reset();
+    FileTraceSource replay(path);
+    EXPECT_EQ(replay.recordCount(), 5000u);
+
+    TraceRecord a, b;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(gen.next(a));
+        ASSERT_TRUE(replay.next(b));
+        EXPECT_EQ(a.addr, b.addr);
+        EXPECT_EQ(a.op, b.op);
+        EXPECT_EQ(a.inst_gap, b.inst_gap);
+        EXPECT_EQ(a.depends_on_prev, b.depends_on_prev);
+        EXPECT_EQ(a.latency_critical, b.latency_critical);
+        EXPECT_EQ(a.has_branch, b.has_branch);
+        EXPECT_EQ(a.branch_taken, b.branch_taken);
+        EXPECT_EQ(a.branch_pc, b.branch_pc);
+    }
+    EXPECT_FALSE(replay.next(b));  // exactly 5000 records
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ResetRewinds)
+{
+    const std::string path = tempPath("rewind");
+    const auto &profile = findProfile("gzip");
+    SyntheticTrace gen(profile);
+    captureTrace(gen, path, 100);
+
+    FileTraceSource replay(path);
+    TraceRecord first, r;
+    ASSERT_TRUE(replay.next(first));
+    while (replay.next(r)) {
+    }
+    replay.reset();
+    ASSERT_TRUE(replay.next(r));
+    EXPECT_EQ(r.addr, first.addr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, WriterCountsAndCloseIsIdempotent)
+{
+    const std::string path = tempPath("count");
+    {
+        TraceFileWriter w(path);
+        TraceRecord r;
+        r.addr = 0x1234;
+        w.append(r);
+        w.append(r);
+        EXPECT_EQ(w.recordsWritten(), 2u);
+        w.close();
+        w.close();
+    }
+    FileTraceSource replay(path);
+    EXPECT_EQ(replay.recordCount(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, MissingFileIsFatal)
+{
+    EXPECT_DEATH(FileTraceSource("/nonexistent/trace.bin"),
+                 "cannot open");
+}
+
+TEST(TraceFileDeath, GarbageFileIsFatal)
+{
+    const std::string path = tempPath("garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace file at all......", f);
+    std::fclose(f);
+    EXPECT_DEATH(FileTraceSource{path}, "not a NuRAPID trace");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace nurapid
