@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pointers.dir/bench_ablation_pointers.cc.o"
+  "CMakeFiles/bench_ablation_pointers.dir/bench_ablation_pointers.cc.o.d"
+  "bench_ablation_pointers"
+  "bench_ablation_pointers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pointers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_port.dir/bench_ablation_port.cc.o"
+  "CMakeFiles/bench_ablation_port.dir/bench_ablation_port.cc.o.d"
+  "bench_ablation_port"
+  "bench_ablation_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_seq_tag.dir/bench_ablation_seq_tag.cc.o"
+  "CMakeFiles/bench_ablation_seq_tag.dir/bench_ablation_seq_tag.cc.o.d"
+  "bench_ablation_seq_tag"
+  "bench_ablation_seq_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seq_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_snuca.dir/bench_ablation_snuca.cc.o"
+  "CMakeFiles/bench_ablation_snuca.dir/bench_ablation_snuca.cc.o.d"
+  "bench_ablation_snuca"
+  "bench_ablation_snuca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_snuca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_dgroups.dir/bench_fig7_dgroups.cc.o"
+  "CMakeFiles/bench_fig7_dgroups.dir/bench_fig7_dgroups.cc.o.d"
+  "bench_fig7_dgroups"
+  "bench_fig7_dgroups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dgroups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

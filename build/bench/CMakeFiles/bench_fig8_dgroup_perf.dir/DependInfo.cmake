@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_dgroup_perf.cc" "bench/CMakeFiles/bench_fig8_dgroup_perf.dir/bench_fig8_dgroup_perf.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_dgroup_perf.dir/bench_fig8_dgroup_perf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nurapid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/nurapid_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/nurapid_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/nurapid_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/nurapid/CMakeFiles/nurapid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nuca/CMakeFiles/nurapid_nuca.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nurapid_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/nurapid_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nurapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dnuca_perf.dir/bench_fig9_dnuca_perf.cc.o"
+  "CMakeFiles/bench_fig9_dnuca_perf.dir/bench_fig9_dnuca_perf.cc.o.d"
+  "bench_fig9_dnuca_perf"
+  "bench_fig9_dnuca_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dnuca_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lru_approximation.dir/bench_lru_approximation.cc.o"
+  "CMakeFiles/bench_lru_approximation.dir/bench_lru_approximation.cc.o.d"
+  "bench_lru_approximation"
+  "bench_lru_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lru_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

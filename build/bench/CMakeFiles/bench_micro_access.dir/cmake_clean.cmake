@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_access.dir/bench_micro_access.cc.o"
+  "CMakeFiles/bench_micro_access.dir/bench_micro_access.cc.o.d"
+  "bench_micro_access"
+  "bench_micro_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_energies.dir/bench_table2_energies.cc.o"
+  "CMakeFiles/bench_table2_energies.dir/bench_table2_energies.cc.o.d"
+  "bench_table2_energies"
+  "bench_table2_energies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_energies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_report.dir/floorplan_report.cpp.o"
+  "CMakeFiles/floorplan_report.dir/floorplan_report.cpp.o.d"
+  "floorplan_report"
+  "floorplan_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_compare.dir/hierarchy_compare.cpp.o"
+  "CMakeFiles/hierarchy_compare.dir/hierarchy_compare.cpp.o.d"
+  "hierarchy_compare"
+  "hierarchy_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

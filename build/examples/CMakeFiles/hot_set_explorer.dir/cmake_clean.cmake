@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_set_explorer.dir/hot_set_explorer.cpp.o"
+  "CMakeFiles/hot_set_explorer.dir/hot_set_explorer.cpp.o.d"
+  "hot_set_explorer"
+  "hot_set_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_set_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hot_set_explorer "/root/repo/build/examples/hot_set_explorer" "6")
+set_tests_properties(example_hot_set_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_floorplan_report "/root/repo/build/examples/floorplan_report")
+set_tests_properties(example_floorplan_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hierarchy_compare "/root/repo/build/examples/hierarchy_compare" "gzip")
+set_tests_properties(example_hierarchy_compare PROPERTIES  ENVIRONMENT "NURAPID_SIM_SCALE=0.02" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_policy_playground "/root/repo/build/examples/policy_playground" "gzip")
+set_tests_properties(example_policy_playground PROPERTIES  ENVIRONMENT "NURAPID_SIM_SCALE=0.02" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

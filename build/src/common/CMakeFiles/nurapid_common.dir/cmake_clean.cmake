@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nurapid_common.dir/histogram.cc.o"
+  "CMakeFiles/nurapid_common.dir/histogram.cc.o.d"
+  "CMakeFiles/nurapid_common.dir/logging.cc.o"
+  "CMakeFiles/nurapid_common.dir/logging.cc.o.d"
+  "CMakeFiles/nurapid_common.dir/stats.cc.o"
+  "CMakeFiles/nurapid_common.dir/stats.cc.o.d"
+  "CMakeFiles/nurapid_common.dir/table.cc.o"
+  "CMakeFiles/nurapid_common.dir/table.cc.o.d"
+  "libnurapid_common.a"
+  "libnurapid_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nurapid_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

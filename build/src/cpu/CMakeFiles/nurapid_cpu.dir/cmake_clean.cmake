@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nurapid_cpu.dir/branch_predictor.cc.o"
+  "CMakeFiles/nurapid_cpu.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/nurapid_cpu.dir/ooo_core.cc.o"
+  "CMakeFiles/nurapid_cpu.dir/ooo_core.cc.o.d"
+  "libnurapid_cpu.a"
+  "libnurapid_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nurapid_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnurapid_cpu.a"
+)

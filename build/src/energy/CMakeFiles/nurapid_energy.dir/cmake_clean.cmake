@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nurapid_energy.dir/energy_model.cc.o"
+  "CMakeFiles/nurapid_energy.dir/energy_model.cc.o.d"
+  "libnurapid_energy.a"
+  "libnurapid_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nurapid_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

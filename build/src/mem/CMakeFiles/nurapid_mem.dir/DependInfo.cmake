@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/conventional_l2l3.cc" "src/mem/CMakeFiles/nurapid_mem.dir/conventional_l2l3.cc.o" "gcc" "src/mem/CMakeFiles/nurapid_mem.dir/conventional_l2l3.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/mem/CMakeFiles/nurapid_mem.dir/main_memory.cc.o" "gcc" "src/mem/CMakeFiles/nurapid_mem.dir/main_memory.cc.o.d"
+  "/root/repo/src/mem/mshr.cc" "src/mem/CMakeFiles/nurapid_mem.dir/mshr.cc.o" "gcc" "src/mem/CMakeFiles/nurapid_mem.dir/mshr.cc.o.d"
+  "/root/repo/src/mem/replacement.cc" "src/mem/CMakeFiles/nurapid_mem.dir/replacement.cc.o" "gcc" "src/mem/CMakeFiles/nurapid_mem.dir/replacement.cc.o.d"
+  "/root/repo/src/mem/set_assoc_cache.cc" "src/mem/CMakeFiles/nurapid_mem.dir/set_assoc_cache.cc.o" "gcc" "src/mem/CMakeFiles/nurapid_mem.dir/set_assoc_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timing/CMakeFiles/nurapid_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nurapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

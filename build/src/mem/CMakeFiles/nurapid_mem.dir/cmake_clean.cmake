@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nurapid_mem.dir/conventional_l2l3.cc.o"
+  "CMakeFiles/nurapid_mem.dir/conventional_l2l3.cc.o.d"
+  "CMakeFiles/nurapid_mem.dir/main_memory.cc.o"
+  "CMakeFiles/nurapid_mem.dir/main_memory.cc.o.d"
+  "CMakeFiles/nurapid_mem.dir/mshr.cc.o"
+  "CMakeFiles/nurapid_mem.dir/mshr.cc.o.d"
+  "CMakeFiles/nurapid_mem.dir/replacement.cc.o"
+  "CMakeFiles/nurapid_mem.dir/replacement.cc.o.d"
+  "CMakeFiles/nurapid_mem.dir/set_assoc_cache.cc.o"
+  "CMakeFiles/nurapid_mem.dir/set_assoc_cache.cc.o.d"
+  "libnurapid_mem.a"
+  "libnurapid_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nurapid_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nurapid_nuca.dir/dnuca.cc.o"
+  "CMakeFiles/nurapid_nuca.dir/dnuca.cc.o.d"
+  "CMakeFiles/nurapid_nuca.dir/snuca.cc.o"
+  "CMakeFiles/nurapid_nuca.dir/snuca.cc.o.d"
+  "libnurapid_nuca.a"
+  "libnurapid_nuca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nurapid_nuca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nurapid/coupled_nuca.cc" "src/nurapid/CMakeFiles/nurapid_core.dir/coupled_nuca.cc.o" "gcc" "src/nurapid/CMakeFiles/nurapid_core.dir/coupled_nuca.cc.o.d"
+  "/root/repo/src/nurapid/data_array.cc" "src/nurapid/CMakeFiles/nurapid_core.dir/data_array.cc.o" "gcc" "src/nurapid/CMakeFiles/nurapid_core.dir/data_array.cc.o.d"
+  "/root/repo/src/nurapid/nurapid_cache.cc" "src/nurapid/CMakeFiles/nurapid_core.dir/nurapid_cache.cc.o" "gcc" "src/nurapid/CMakeFiles/nurapid_core.dir/nurapid_cache.cc.o.d"
+  "/root/repo/src/nurapid/pointer_codec.cc" "src/nurapid/CMakeFiles/nurapid_core.dir/pointer_codec.cc.o" "gcc" "src/nurapid/CMakeFiles/nurapid_core.dir/pointer_codec.cc.o.d"
+  "/root/repo/src/nurapid/tag_array.cc" "src/nurapid/CMakeFiles/nurapid_core.dir/tag_array.cc.o" "gcc" "src/nurapid/CMakeFiles/nurapid_core.dir/tag_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/nurapid_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/nurapid_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nurapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nurapid_core.dir/coupled_nuca.cc.o"
+  "CMakeFiles/nurapid_core.dir/coupled_nuca.cc.o.d"
+  "CMakeFiles/nurapid_core.dir/data_array.cc.o"
+  "CMakeFiles/nurapid_core.dir/data_array.cc.o.d"
+  "CMakeFiles/nurapid_core.dir/nurapid_cache.cc.o"
+  "CMakeFiles/nurapid_core.dir/nurapid_cache.cc.o.d"
+  "CMakeFiles/nurapid_core.dir/pointer_codec.cc.o"
+  "CMakeFiles/nurapid_core.dir/pointer_codec.cc.o.d"
+  "CMakeFiles/nurapid_core.dir/tag_array.cc.o"
+  "CMakeFiles/nurapid_core.dir/tag_array.cc.o.d"
+  "libnurapid_core.a"
+  "libnurapid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nurapid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

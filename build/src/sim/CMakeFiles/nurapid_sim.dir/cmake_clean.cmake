@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nurapid_sim.dir/config.cc.o"
+  "CMakeFiles/nurapid_sim.dir/config.cc.o.d"
+  "CMakeFiles/nurapid_sim.dir/system.cc.o"
+  "CMakeFiles/nurapid_sim.dir/system.cc.o.d"
+  "libnurapid_sim.a"
+  "libnurapid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nurapid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

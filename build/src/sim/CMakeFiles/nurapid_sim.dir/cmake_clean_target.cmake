@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnurapid_sim.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/floorplan.cc" "src/timing/CMakeFiles/nurapid_timing.dir/floorplan.cc.o" "gcc" "src/timing/CMakeFiles/nurapid_timing.dir/floorplan.cc.o.d"
+  "/root/repo/src/timing/geometry.cc" "src/timing/CMakeFiles/nurapid_timing.dir/geometry.cc.o" "gcc" "src/timing/CMakeFiles/nurapid_timing.dir/geometry.cc.o.d"
+  "/root/repo/src/timing/latency_tables.cc" "src/timing/CMakeFiles/nurapid_timing.dir/latency_tables.cc.o" "gcc" "src/timing/CMakeFiles/nurapid_timing.dir/latency_tables.cc.o.d"
+  "/root/repo/src/timing/tech.cc" "src/timing/CMakeFiles/nurapid_timing.dir/tech.cc.o" "gcc" "src/timing/CMakeFiles/nurapid_timing.dir/tech.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nurapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

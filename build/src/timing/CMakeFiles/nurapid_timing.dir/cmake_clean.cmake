@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nurapid_timing.dir/floorplan.cc.o"
+  "CMakeFiles/nurapid_timing.dir/floorplan.cc.o.d"
+  "CMakeFiles/nurapid_timing.dir/geometry.cc.o"
+  "CMakeFiles/nurapid_timing.dir/geometry.cc.o.d"
+  "CMakeFiles/nurapid_timing.dir/latency_tables.cc.o"
+  "CMakeFiles/nurapid_timing.dir/latency_tables.cc.o.d"
+  "CMakeFiles/nurapid_timing.dir/tech.cc.o"
+  "CMakeFiles/nurapid_timing.dir/tech.cc.o.d"
+  "libnurapid_timing.a"
+  "libnurapid_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nurapid_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

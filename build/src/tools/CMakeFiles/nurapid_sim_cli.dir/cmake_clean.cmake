@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nurapid_sim_cli.dir/nurapid_sim.cc.o"
+  "CMakeFiles/nurapid_sim_cli.dir/nurapid_sim.cc.o.d"
+  "nurapid_sim"
+  "nurapid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nurapid_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

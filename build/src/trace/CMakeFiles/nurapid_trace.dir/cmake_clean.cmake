@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nurapid_trace.dir/profiles.cc.o"
+  "CMakeFiles/nurapid_trace.dir/profiles.cc.o.d"
+  "CMakeFiles/nurapid_trace.dir/synthetic.cc.o"
+  "CMakeFiles/nurapid_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/nurapid_trace.dir/trace_file.cc.o"
+  "CMakeFiles/nurapid_trace.dir/trace_file.cc.o.d"
+  "libnurapid_trace.a"
+  "libnurapid_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nurapid_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitops.cc" "tests/CMakeFiles/nurapid_tests.dir/test_bitops.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_bitops.cc.o.d"
+  "/root/repo/tests/test_branch_predictor.cc" "tests/CMakeFiles/nurapid_tests.dir/test_branch_predictor.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_branch_predictor.cc.o.d"
+  "/root/repo/tests/test_conventional.cc" "tests/CMakeFiles/nurapid_tests.dir/test_conventional.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_conventional.cc.o.d"
+  "/root/repo/tests/test_coupled.cc" "tests/CMakeFiles/nurapid_tests.dir/test_coupled.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_coupled.cc.o.d"
+  "/root/repo/tests/test_data_array.cc" "tests/CMakeFiles/nurapid_tests.dir/test_data_array.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_data_array.cc.o.d"
+  "/root/repo/tests/test_differential.cc" "tests/CMakeFiles/nurapid_tests.dir/test_differential.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_differential.cc.o.d"
+  "/root/repo/tests/test_dnuca.cc" "tests/CMakeFiles/nurapid_tests.dir/test_dnuca.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_dnuca.cc.o.d"
+  "/root/repo/tests/test_mshr_memory.cc" "tests/CMakeFiles/nurapid_tests.dir/test_mshr_memory.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_mshr_memory.cc.o.d"
+  "/root/repo/tests/test_nurapid.cc" "tests/CMakeFiles/nurapid_tests.dir/test_nurapid.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_nurapid.cc.o.d"
+  "/root/repo/tests/test_ooo_core.cc" "tests/CMakeFiles/nurapid_tests.dir/test_ooo_core.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_ooo_core.cc.o.d"
+  "/root/repo/tests/test_pointer_codec.cc" "tests/CMakeFiles/nurapid_tests.dir/test_pointer_codec.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_pointer_codec.cc.o.d"
+  "/root/repo/tests/test_replacement.cc" "tests/CMakeFiles/nurapid_tests.dir/test_replacement.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_replacement.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/nurapid_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_set_assoc_cache.cc" "tests/CMakeFiles/nurapid_tests.dir/test_set_assoc_cache.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_set_assoc_cache.cc.o.d"
+  "/root/repo/tests/test_snuca.cc" "tests/CMakeFiles/nurapid_tests.dir/test_snuca.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_snuca.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/nurapid_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/nurapid_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_tag_array.cc" "tests/CMakeFiles/nurapid_tests.dir/test_tag_array.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_tag_array.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/nurapid_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/nurapid_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trace_file.cc" "tests/CMakeFiles/nurapid_tests.dir/test_trace_file.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nurapid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/nurapid_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/nurapid_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/nurapid_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/nurapid/CMakeFiles/nurapid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nuca/CMakeFiles/nurapid_nuca.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nurapid_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/nurapid_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nurapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
