@@ -63,5 +63,6 @@ main()
                 "pointers; very tight restrictions force evictions and "
                 "raise the miss rate — supporting the paper's claim "
                 "that the pointer overhead can be cut cheaply.\n");
+    benchFooter();
     return 0;
 }

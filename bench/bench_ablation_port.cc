@@ -44,5 +44,6 @@ main()
                 "few percent of the one-ported design — the reduction "
                 "in swaps makes the single port sufficient, matching "
                 "Section 5.4's conclusion.\n");
+    benchFooter();
     return 0;
 }

@@ -60,5 +60,6 @@ main()
                 "search — the asymmetry that drives the paper's 77%% "
                 "L2 energy reduction.\n",
                 multicast_nj / nr.tag_read_nj);
+    benchFooter();
     return 0;
 }

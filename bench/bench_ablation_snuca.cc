@@ -48,5 +48,6 @@ main()
                 "but pays mid-grid latency on every access)\n",
                 meanL2EnergyPerAccess(sn), meanL2EnergyPerAccess(dn),
                 meanL2EnergyPerAccess(nr));
+    benchFooter();
     return 0;
 }

@@ -60,5 +60,6 @@ main()
     std::printf("Data-array (d-group/bank) accesses: NuRAPID performs "
                 "%.0f%% fewer than D-NUCA (paper: 61%% fewer)\n",
                 100.0 * (1.0 - nr_acc / dn_acc));
+    benchFooter();
     return 0;
 }

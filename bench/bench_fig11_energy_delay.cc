@@ -47,5 +47,6 @@ main()
                 std::exp(g_dn / n), std::exp(g_nr / n),
                 std::exp(g_nd / n));
     std::printf("(paper: NuRAPID ~0.93 of both comparison points)\n");
+    benchFooter();
     return 0;
 }

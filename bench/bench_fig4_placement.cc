@@ -51,5 +51,6 @@ main()
                                meanRegionFrac(sa, 3)).c_str(),
                 TextTable::pct(meanRegionFrac(da, 2) +
                                meanRegionFrac(da, 3)).c_str());
+    benchFooter();
     return 0;
 }

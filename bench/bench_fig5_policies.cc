@@ -60,5 +60,6 @@ main()
             next[i].l2_misses == fast[i].l2_misses;
     std::printf("Miss counts identical across policies: %s\n",
                 equal ? "yes" : "NO (unexpected)");
+    benchFooter();
     return 0;
 }

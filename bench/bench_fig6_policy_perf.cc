@@ -69,5 +69,6 @@ main()
            TextTable::num(split(ideal, true), 3),
            TextTable::num(split(ideal, false), 3), "1.079 overall"});
     s.print();
+    benchFooter();
     return 0;
 }

@@ -58,5 +58,6 @@ main()
     }
     std::printf("Promotion swaps, 8dg vs 4dg: %.2fx (paper: 2.2x)\n",
                 promo4 > 0 ? promo8 / promo4 : 0.0);
+    benchFooter();
     return 0;
 }

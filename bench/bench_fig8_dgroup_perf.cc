@@ -37,5 +37,6 @@ main()
                 "%.3f (paper: 1.005 / 1.059 / 1.061)\n",
                 geomeanRatio(n2, base), geomeanRatio(n4, base),
                 geomeanRatio(n8, base));
+    benchFooter();
     return 0;
 }

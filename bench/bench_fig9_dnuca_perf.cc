@@ -60,5 +60,6 @@ main()
                 "D-NUCA %.3f (%.1fx fewer swaps)\n",
                 nr_moves / accesses, dn_moves / accesses,
                 nr_moves > 0 ? dn_moves / nr_moves : 0.0);
+    benchFooter();
     return 0;
 }

@@ -65,5 +65,6 @@ main()
                 "Section 2.4.2) under next-fastest: %s — between "
                 "random and true LRU.\n",
                 TextTable::pct(meanRegionFrac(next_plru, 0)).c_str());
+    benchFooter();
     return 0;
 }

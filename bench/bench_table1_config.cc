@@ -64,5 +64,6 @@ main()
                 "D-NUCA (128 x 64 KB banks, 8 bank-d-groups per set, "
                 "7-bit sm-search) and 8 MB 8-way NuRAPID (L-shaped "
                 "floorplan, 1 port, non-banked).\n");
+    benchFooter();
     return 0;
 }

@@ -60,5 +60,6 @@ main()
     s.row({"D-NUCA bubble swap (rows 0<->1, center column)",
            TextTable::num(dn.swapEnergy(0, 1, 8))});
     s.print();
+    benchFooter();
     return 0;
 }

@@ -34,5 +34,6 @@ main()
     std::printf("\nBenchmark identities are synthetic stand-ins "
                 "calibrated to the paper's Table 3 (see DESIGN.md, "
                 "substitution table).\n");
+    benchFooter();
     return 0;
 }

@@ -56,5 +56,6 @@ main()
     std::printf("Model-derived uniform caches (Table 1 uses 11/43 as "
                 "configured inputs): 1 MB L2 = %u cycles, 8 MB L3 = %u "
                 "cycles.\n", l2.latency, l3.latency);
+    benchFooter();
     return 0;
 }

@@ -12,20 +12,31 @@
 #ifndef NURAPID_BENCH_BENCH_UTIL_HH
 #define NURAPID_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sim/runner/run_engine.hh"
 #include "sim/system.hh"
 #include "trace/profiles.hh"
 
 namespace nurapid {
 
+/** Wall-clock anchor for benchFooter(); (re)started by benchHeader(). */
+inline std::chrono::steady_clock::time_point &
+benchStartTime()
+{
+    static auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
 inline void
 benchHeader(const std::string &title, const std::string &paper_note)
 {
+    benchStartTime() = std::chrono::steady_clock::now();
     std::printf("==============================================================\n");
     std::printf("%s\n", title.c_str());
     std::printf("Paper reference: %s\n", paper_note.c_str());
@@ -34,7 +45,34 @@ benchHeader(const std::string &title, const std::string &paper_note)
                 "run (NURAPID_SIM_SCALE to rescale)\n",
                 static_cast<unsigned long long>(len.warmup_records),
                 static_cast<unsigned long long>(len.measure_records));
+    RunEngine &eng = globalRunEngine();
+    std::printf("Run engine: %u worker thread(s) (NURAPID_JOBS)%s%s\n",
+                eng.jobsFor(1u << 30),
+                eng.options().cache_file.empty()
+                    ? "; in-process memoization (set NURAPID_RUN_CACHE "
+                      "to share runs across binaries)"
+                    : "; run cache ",
+                eng.options().cache_file.c_str());
     std::printf("==============================================================\n");
+}
+
+/**
+ * Prints the suite wall-clock and what the run engine simulated versus
+ * recalled from cache — the perf trajectory future PRs measure against.
+ */
+inline void
+benchFooter()
+{
+    const double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - benchStartTime()).count();
+    RunEngine &eng = globalRunEngine();
+    std::printf("--------------------------------------------------------------\n");
+    std::printf("Wall-clock %.2f s: %llu runs simulated (%.2f s), "
+                "%llu cache hits (saved ~%.2f s of simulation)\n", wall,
+                static_cast<unsigned long long>(eng.simulatedRuns()),
+                eng.simulatedSeconds(),
+                static_cast<unsigned long long>(eng.cacheHits()),
+                eng.savedSeconds());
 }
 
 /** Geometric-mean of per-benchmark ratios vs a base suite. */

@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regen-bench"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/regen-bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/nurapid_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/nurapid_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/common/CMakeFiles/nurapid_common.dir/json.cc.o" "gcc" "src/common/CMakeFiles/nurapid_common.dir/json.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/nurapid_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/nurapid_common.dir/logging.cc.o.d"
   "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/nurapid_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/nurapid_common.dir/stats.cc.o.d"
   "/root/repo/src/common/table.cc" "src/common/CMakeFiles/nurapid_common.dir/table.cc.o" "gcc" "src/common/CMakeFiles/nurapid_common.dir/table.cc.o.d"

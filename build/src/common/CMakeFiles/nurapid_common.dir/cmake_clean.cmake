@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/nurapid_common.dir/histogram.cc.o"
   "CMakeFiles/nurapid_common.dir/histogram.cc.o.d"
+  "CMakeFiles/nurapid_common.dir/json.cc.o"
+  "CMakeFiles/nurapid_common.dir/json.cc.o.d"
   "CMakeFiles/nurapid_common.dir/logging.cc.o"
   "CMakeFiles/nurapid_common.dir/logging.cc.o.d"
   "CMakeFiles/nurapid_common.dir/stats.cc.o"

@@ -9,6 +9,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/nurapid_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/nurapid_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/runner/run_cache.cc" "src/sim/CMakeFiles/nurapid_sim.dir/runner/run_cache.cc.o" "gcc" "src/sim/CMakeFiles/nurapid_sim.dir/runner/run_cache.cc.o.d"
+  "/root/repo/src/sim/runner/run_engine.cc" "src/sim/CMakeFiles/nurapid_sim.dir/runner/run_engine.cc.o" "gcc" "src/sim/CMakeFiles/nurapid_sim.dir/runner/run_engine.cc.o.d"
   "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/nurapid_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/nurapid_sim.dir/system.cc.o.d"
   )
 

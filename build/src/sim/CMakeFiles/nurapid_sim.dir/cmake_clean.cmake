@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
   "CMakeFiles/nurapid_sim.dir/config.cc.o"
   "CMakeFiles/nurapid_sim.dir/config.cc.o.d"
+  "CMakeFiles/nurapid_sim.dir/runner/run_cache.cc.o"
+  "CMakeFiles/nurapid_sim.dir/runner/run_cache.cc.o.d"
+  "CMakeFiles/nurapid_sim.dir/runner/run_engine.cc.o"
+  "CMakeFiles/nurapid_sim.dir/runner/run_engine.cc.o.d"
   "CMakeFiles/nurapid_sim.dir/system.cc.o"
   "CMakeFiles/nurapid_sim.dir/system.cc.o.d"
   "libnurapid_sim.a"

@@ -15,12 +15,14 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_data_array.cc" "tests/CMakeFiles/nurapid_tests.dir/test_data_array.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_data_array.cc.o.d"
   "/root/repo/tests/test_differential.cc" "tests/CMakeFiles/nurapid_tests.dir/test_differential.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_differential.cc.o.d"
   "/root/repo/tests/test_dnuca.cc" "tests/CMakeFiles/nurapid_tests.dir/test_dnuca.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_dnuca.cc.o.d"
+  "/root/repo/tests/test_json.cc" "tests/CMakeFiles/nurapid_tests.dir/test_json.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_json.cc.o.d"
   "/root/repo/tests/test_mshr_memory.cc" "tests/CMakeFiles/nurapid_tests.dir/test_mshr_memory.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_mshr_memory.cc.o.d"
   "/root/repo/tests/test_nurapid.cc" "tests/CMakeFiles/nurapid_tests.dir/test_nurapid.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_nurapid.cc.o.d"
   "/root/repo/tests/test_ooo_core.cc" "tests/CMakeFiles/nurapid_tests.dir/test_ooo_core.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_ooo_core.cc.o.d"
   "/root/repo/tests/test_pointer_codec.cc" "tests/CMakeFiles/nurapid_tests.dir/test_pointer_codec.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_pointer_codec.cc.o.d"
   "/root/repo/tests/test_replacement.cc" "tests/CMakeFiles/nurapid_tests.dir/test_replacement.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_replacement.cc.o.d"
   "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/nurapid_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/nurapid_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_runner.cc.o.d"
   "/root/repo/tests/test_set_assoc_cache.cc" "tests/CMakeFiles/nurapid_tests.dir/test_set_assoc_cache.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_set_assoc_cache.cc.o.d"
   "/root/repo/tests/test_snuca.cc" "tests/CMakeFiles/nurapid_tests.dir/test_snuca.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_snuca.cc.o.d"
   "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/nurapid_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/nurapid_tests.dir/test_stats.cc.o.d"

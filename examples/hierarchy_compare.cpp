@@ -40,12 +40,20 @@ main(int argc, char **argv)
         {"NuRAPID ideal bound", OrgSpec::nurapidIdeal()},
     };
 
+    // One batch through the run engine: the six organizations simulate
+    // in parallel (NURAPID_JOBS workers) instead of back to back.
+    std::vector<RunRequest> requests;
+    for (const Entry &e : entries)
+        requests.push_back(RunRequest{e.spec, profile, SimLength::fromEnv()});
+    auto runs = globalRunEngine().runMany(requests);
+
     TextTable t;
     t.header({"Organization", "IPC", "rel.", "fast-region hits",
               "miss", "L2 nJ/access", "EDP rel."});
     double base_ipc = 0, base_edp = 0;
-    for (const Entry &e : entries) {
-        auto m = runOne(e.spec, profile);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Entry &e = entries[i];
+        const RunMetrics &m = runs[i];
         if (base_ipc == 0) {
             base_ipc = m.ipc;
             base_edp = m.energy.edp;

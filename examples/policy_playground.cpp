@@ -28,23 +28,39 @@ main(int argc, char **argv)
     t.header({"d-groups", "promotion", "distance repl", "g0 hits",
               "promotions/kacc", "demotions/kacc", "IPC vs base"});
 
+    // Build the full 18-point sweep, then run it as one parallel batch
+    // through the engine instead of 18 serial simulations.
+    struct Point
+    {
+        std::uint32_t ndg;
+        PromotionPolicy promo;
+        DistanceRepl drepl;
+    };
+    std::vector<Point> points;
+    std::vector<RunRequest> requests;
     for (std::uint32_t ndg : {2u, 4u, 8u}) {
         for (auto promo : {PromotionPolicy::DemotionOnly,
                            PromotionPolicy::NextFastest,
                            PromotionPolicy::Fastest}) {
             for (auto drepl : {DistanceRepl::Random, DistanceRepl::LRU}) {
-                auto m = runOne(OrgSpec::nurapidDefault(ndg, promo,
-                                                        drepl),
-                                profile);
-                const double kacc = m.l2_demand / 1000.0;
-                t.row({std::to_string(ndg), promotionPolicyName(promo),
-                       distanceReplName(drepl),
-                       TextTable::pct(m.region_frac[0]),
-                       TextTable::num(kacc ? m.promotions / kacc : 0, 1),
-                       TextTable::num(kacc ? m.demotions / kacc : 0, 1),
-                       TextTable::num(m.ipc / base.ipc, 3)});
+                points.push_back(Point{ndg, promo, drepl});
+                requests.push_back(
+                    RunRequest{OrgSpec::nurapidDefault(ndg, promo, drepl),
+                               profile, SimLength::fromEnv()});
             }
         }
+    }
+    auto runs = globalRunEngine().runMany(requests);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Point &pt = points[i];
+        const RunMetrics &m = runs[i];
+        const double kacc = m.l2_demand / 1000.0;
+        t.row({std::to_string(pt.ndg), promotionPolicyName(pt.promo),
+               distanceReplName(pt.drepl),
+               TextTable::pct(m.region_frac[0]),
+               TextTable::num(kacc ? m.promotions / kacc : 0, 1),
+               TextTable::num(kacc ? m.demotions / kacc : 0, 1),
+               TextTable::num(m.ipc / base.ipc, 3)});
     }
     t.print();
 

@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Regenerates every paper table/figure by running all bench binaries
+# with a shared run cache, so the repeated suites (the base hierarchy
+# alone is re-used by 7+ binaries) are simulated exactly once and every
+# later regeneration is served almost entirely from the cache file.
+#
+# Usage:
+#   scripts/regen_bench.sh [BUILD_DIR] [--jobs N] [--no-cache] [--quiet]
+#
+# Environment (forwarded to the binaries' run engine):
+#   NURAPID_JOBS       worker threads per binary (default: all cores)
+#   NURAPID_RUN_CACHE  cache file (default: BUILD_DIR/bench_run_cache.json)
+#   NURAPID_SIM_SCALE  simulation length scale
+#
+# The CMake target `regen-bench` invokes this script with BUILD_DIR set.
+
+set -eu
+
+build_dir=build
+quiet=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --jobs)
+        NURAPID_JOBS="$2"; export NURAPID_JOBS; shift 2 ;;
+      --no-cache)
+        unset NURAPID_RUN_CACHE || true
+        no_cache=1; shift ;;
+      --quiet)
+        quiet=1; shift ;;
+      -h|--help)
+        sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+      *)
+        build_dir="$1"; shift ;;
+    esac
+done
+
+if [ ! -d "$build_dir/bench" ]; then
+    echo "error: '$build_dir/bench' not found (configure and build first:" >&2
+    echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
+    exit 1
+fi
+
+if [ "${no_cache:-0}" -eq 0 ]; then
+    NURAPID_RUN_CACHE="${NURAPID_RUN_CACHE:-$build_dir/bench_run_cache.json}"
+    export NURAPID_RUN_CACHE
+    echo "run cache: $NURAPID_RUN_CACHE"
+fi
+echo "jobs per binary: ${NURAPID_JOBS:-auto}"
+
+benches="bench_table1_config bench_table2_energies bench_table3_workloads \
+bench_table4_latencies bench_fig4_placement bench_fig5_policies \
+bench_fig6_policy_perf bench_lru_approximation bench_fig7_dgroups \
+bench_fig8_dgroup_perf bench_fig9_dnuca_perf bench_fig10_energy \
+bench_fig11_energy_delay bench_ablation_pointers bench_ablation_port \
+bench_ablation_seq_tag bench_ablation_snuca"
+
+start=$(date +%s)
+for b in $benches; do
+    echo "=== $b ==="
+    if [ "$quiet" -eq 1 ]; then
+        "$build_dir/bench/$b" | tail -n 2
+    else
+        "$build_dir/bench/$b"
+    fi
+done
+end=$(date +%s)
+echo "regen-bench: full sweep in $((end - start)) s"

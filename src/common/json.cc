@@ -1,0 +1,331 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nurapid {
+
+namespace {
+
+const Json kNull{};
+
+void
+escapeTo(const std::string &s, std::string &out)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string err;
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what;
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *w = word; *w; ++w, ++p) {
+            if (p >= end || *p != *w)
+                return fail(std::string("bad literal, expected ") + word);
+        }
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return fail("truncated escape");
+                switch (*p) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  default:
+                    return fail("unsupported escape");
+                }
+                ++p;
+            } else {
+                out += *p++;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p;
+        return true;
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{': {
+            ++p;
+            Json obj = Json::object();
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                out = std::move(obj);
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':'");
+                ++p;
+                Json val;
+                if (!parseValue(val))
+                    return false;
+                obj.set(key, std::move(val));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    ++p;
+                    break;
+                }
+                return fail("expected ',' or '}'");
+            }
+            out = std::move(obj);
+            return true;
+          }
+          case '[': {
+            ++p;
+            Json arr = Json::array();
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                out = std::move(arr);
+                return true;
+            }
+            while (true) {
+                Json val;
+                if (!parseValue(val))
+                    return false;
+                arr.push(std::move(val));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    ++p;
+                    break;
+                }
+                return fail("expected ',' or ']'");
+            }
+            out = std::move(arr);
+            return true;
+          }
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+          }
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = Json(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = Json(false);
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return false;
+            out = Json();
+            return true;
+          default: {
+            const char *start = p;
+            if (p < end && (*p == '-' || *p == '+'))
+                ++p;
+            bool integral = true;
+            while (p < end && (std::isdigit(static_cast<unsigned char>(*p))
+                               || *p == '.' || *p == 'e' || *p == 'E' ||
+                               *p == '-' || *p == '+')) {
+                if (*p == '.' || *p == 'e' || *p == 'E')
+                    integral = false;
+                ++p;
+            }
+            if (p == start)
+                return fail("unexpected character");
+            const std::string tok(start, p);
+            char *endp = nullptr;
+            if (integral && tok[0] != '-') {
+                const unsigned long long u =
+                    std::strtoull(tok.c_str(), &endp, 10);
+                if (endp && *endp == '\0') {
+                    out = Json(static_cast<std::uint64_t>(u));
+                    return true;
+                }
+            }
+            const double d = std::strtod(tok.c_str(), &endp);
+            if (!endp || *endp != '\0')
+                return fail("malformed number");
+            out = Json(d);
+            return true;
+          }
+        }
+    }
+};
+
+} // namespace
+
+const Json &
+Json::get(const std::string &k) const
+{
+    for (const auto &kv : objVal) {
+        if (kv.first == k)
+            return kv.second;
+    }
+    return kNull;
+}
+
+bool
+Json::has(const std::string &k) const
+{
+    for (const auto &kv : objVal) {
+        if (kv.first == k)
+            return true;
+    }
+    return false;
+}
+
+void
+Json::dumpTo(std::string &out) const
+{
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += boolVal ? "true" : "false";
+        break;
+      case Type::Number: {
+        char buf[40];
+        if (isUint) {
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(uintVal));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", dblVal);
+        }
+        out += buf;
+        break;
+      }
+      case Type::String:
+        escapeTo(strVal, out);
+        break;
+      case Type::Array: {
+        out += '[';
+        bool first = true;
+        for (const auto &v : arrVal) {
+            if (!first)
+                out += ',';
+            first = false;
+            v.dumpTo(out);
+        }
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &kv : objVal) {
+            if (!first)
+                out += ',';
+            first = false;
+            escapeTo(kv.first, out);
+            out += ':';
+            kv.second.dumpTo(out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(out);
+    return out;
+}
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    Parser parser{text.data(), text.data() + text.size(), {}};
+    Json out;
+    if (!parser.parseValue(out) ||
+        (parser.skipWs(), parser.p != parser.end)) {
+        if (error) {
+            *error = parser.err.empty() ? "trailing garbage" : parser.err;
+        }
+        return Json();
+    }
+    if (error)
+        error->clear();
+    return out;
+}
+
+} // namespace nurapid

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A minimal JSON value type with a writer and a recursive-descent
+ * parser — just enough for the run-cache file format (objects, arrays,
+ * strings, numbers, booleans, null; no \uXXXX escapes).
+ *
+ * Numbers keep an exact unsigned-integer representation when they have
+ * one, so 64-bit counters round-trip losslessly; doubles are written
+ * with %.17g, which round-trips every finite IEEE-754 double.
+ */
+
+#ifndef NURAPID_COMMON_JSON_HH
+#define NURAPID_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nurapid {
+
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() = default;
+    Json(bool b) : type_(Type::Bool), boolVal(b) {}
+    Json(double d) : type_(Type::Number), dblVal(d) {}
+    Json(std::uint64_t u)
+        : type_(Type::Number), dblVal(static_cast<double>(u)),
+          uintVal(u), isUint(true) {}
+    Json(int i) : Json(static_cast<std::uint64_t>(i)) {}
+    Json(const char *s) : type_(Type::String), strVal(s) {}
+    Json(std::string s) : type_(Type::String), strVal(std::move(s)) {}
+
+    static Json array() { Json j; j.type_ = Type::Array; return j; }
+    static Json object() { Json j; j.type_ = Type::Object; return j; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return type_ == Type::Bool && boolVal; }
+    double asDouble() const { return type_ == Type::Number ? dblVal : 0.0; }
+    std::uint64_t
+    asUint() const
+    {
+        if (type_ != Type::Number)
+            return 0;
+        return isUint ? uintVal : static_cast<std::uint64_t>(dblVal);
+    }
+    const std::string &asString() const { return strVal; }
+
+    /** Array access. */
+    void push(Json v) { arrVal.push_back(std::move(v)); }
+    std::size_t size() const { return arrVal.size(); }
+    const Json &at(std::size_t i) const { return arrVal[i]; }
+    const std::vector<Json> &items() const { return arrVal; }
+
+    /** Object access; get() returns a shared null for missing keys. */
+    void
+    set(const std::string &k, Json v)
+    {
+        for (auto &kv : objVal) {
+            if (kv.first == k) {
+                kv.second = std::move(v);
+                return;
+            }
+        }
+        objVal.emplace_back(k, std::move(v));
+    }
+    const Json &get(const std::string &k) const;
+    bool has(const std::string &k) const;
+    const std::vector<std::pair<std::string, Json>> &
+    members() const { return objVal; }
+
+    /** Serializes compactly (no insignificant whitespace). */
+    std::string dump() const;
+
+    /**
+     * Parses @p text; on failure returns a Null value and, if @p error
+     * is non-null, stores a one-line diagnostic.
+     */
+    static Json parse(const std::string &text, std::string *error = nullptr);
+
+  private:
+    Type type_ = Type::Null;
+    bool boolVal = false;
+    double dblVal = 0.0;
+    std::uint64_t uintVal = 0;
+    bool isUint = false;
+    std::string strVal;
+    std::vector<Json> arrVal;
+    std::vector<std::pair<std::string, Json>> objVal;
+
+    void dumpTo(std::string &out) const;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_COMMON_JSON_HH

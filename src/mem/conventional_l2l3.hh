@@ -40,6 +40,7 @@ class ConventionalL2L3 : public LowerMemory
     EnergyNJ cacheEnergyNJ() const override { return cacheEnergy; }
     const std::string &name() const override { return orgName; }
     StatGroup &stats() override { return statGroup; }
+    const StatGroup &stats() const override { return statGroup; }
     const Histogram &regionHits() const override { return regionHist; }
     void resetStats() override;
 

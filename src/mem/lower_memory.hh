@@ -50,6 +50,7 @@ class LowerMemory
 
     /** Statistics registry. */
     virtual StatGroup &stats() = 0;
+    virtual const StatGroup &stats() const = 0;
 
     /**
      * Distribution of *hits* across latency regions (d-groups for

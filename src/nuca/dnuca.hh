@@ -69,6 +69,7 @@ class DNucaCache : public LowerMemory
     EnergyNJ cacheEnergyNJ() const override { return cacheEnergy; }
     const std::string &name() const override { return p.name; }
     StatGroup &stats() override { return statGroup; }
+    const StatGroup &stats() const override { return statGroup; }
     const Histogram &regionHits() const override { return regionHist; }
     void resetStats() override;
 

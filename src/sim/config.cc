@@ -1,5 +1,7 @@
 #include "sim/config.hh"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -114,8 +116,11 @@ SimLength::fromEnv()
 {
     SimLength len;
     if (const char *s = std::getenv("NURAPID_SIM_SCALE")) {
-        const double scale = std::atof(s);
-        if (scale > 0) {
+        errno = 0;
+        char *end = nullptr;
+        const double scale = std::strtod(s, &end);
+        if (*s != '\0' && end && *end == '\0' && errno != ERANGE &&
+            std::isfinite(scale) && scale > 0) {
             len.warmup_records = static_cast<std::uint64_t>(
                 len.warmup_records * scale);
             len.measure_records = static_cast<std::uint64_t>(

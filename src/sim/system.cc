@@ -1,10 +1,13 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
+#include "sim/runner/run_engine.hh"
 #include "timing/geometry.hh"
+#include "trace/profiles.hh"
 
 namespace nurapid {
 
@@ -86,8 +89,7 @@ System::metrics() const
     m.cycles = coreModel->cycles();
     m.instructions = coreModel->instructions();
 
-    const StatGroup &ls =
-        const_cast<LowerMemory &>(*lowerMem).stats();
+    const StatGroup &ls = lowerMem->stats();
     auto counter = [&](const char *name) -> std::uint64_t {
         return ls.hasCounter(name) ? ls.counterValue(name) : 0;
     };
@@ -115,14 +117,18 @@ System::metrics() const
         counter("dgroup_accesses") + counter("bank_data_accesses");
 
     m.energy = computeEnergy(energyParams, *coreModel, *lowerMem);
+    m.wall_seconds = wallSeconds;
     return m;
 }
 
 RunMetrics
 System::runAll()
 {
+    const auto start = std::chrono::steady_clock::now();
     warmup();
     measure();
+    wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
     return metrics();
 }
 
@@ -130,19 +136,22 @@ RunMetrics
 runOne(const OrgSpec &org, const WorkloadProfile &profile,
        const SimLength &length)
 {
-    System sys(org, profile, length);
-    return sys.runAll();
+    return globalRunEngine().runOne(org, profile, length);
 }
 
 std::vector<RunMetrics>
 runSuite(const OrgSpec &org, const std::vector<WorkloadProfile> &suite,
          const SimLength &length)
 {
-    std::vector<RunMetrics> out;
-    out.reserve(suite.size());
-    for (const auto &profile : suite)
-        out.push_back(runOne(org, profile, length));
-    return out;
+    return globalRunEngine().runSuite(org, suite, length);
+}
+
+void
+touchSharedSimulationState()
+{
+    (void)sharedModel();
+    (void)TechParams::the70nm();
+    (void)workloadSuite();
 }
 
 double

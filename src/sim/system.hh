@@ -44,6 +44,14 @@ struct RunMetrics
     std::uint64_t data_array_accesses = 0;  //!< d-group/bank data ops
 
     EnergyReport energy;
+
+    /** Wall-clock cost of the warmup+measure simulation, seconds. For
+     *  a memoized result this is the *original* simulation cost (what
+     *  the cache hit saved), not the lookup time. */
+    double wall_seconds = 0;
+
+    /** True when the run engine served this result from its cache. */
+    bool from_cache = false;
 };
 
 class System
@@ -75,17 +83,33 @@ class System
     std::unique_ptr<OooCore> coreModel;
     SyntheticTrace trace;
     ProcessorEnergyParams energyParams;
+    double wallSeconds = 0;  //!< set by runAll()
 };
 
-/** Runs one (organization, workload) pair end to end. */
+/**
+ * Runs one (organization, workload) pair end to end through the
+ * process-wide run engine (sim/runner/run_engine.hh): memoized, and
+ * parallel when batched via runSuite/RunEngine::runMany.
+ */
 RunMetrics runOne(const OrgSpec &org, const WorkloadProfile &profile,
                   const SimLength &length = SimLength::fromEnv());
 
-/** Runs a whole suite; returns one RunMetrics per workload. */
+/**
+ * Runs a whole suite through the process-wide run engine; one
+ * RunMetrics per workload, in suite order. Uncached runs fan out over
+ * NURAPID_JOBS worker threads (default: hardware concurrency).
+ */
 std::vector<RunMetrics> runSuite(const OrgSpec &org,
                                  const std::vector<WorkloadProfile> &suite,
                                  const SimLength &length =
                                      SimLength::fromEnv());
+
+/**
+ * Forces construction of the shared const singletons (SRAM macro
+ * model, technology point, workload table) so parallel workers only
+ * ever read them. Safe to call from any thread; idempotent.
+ */
+void touchSharedSimulationState();
 
 /** Geometric-mean relative performance (ipc vs base ipc). */
 double meanRelativePerformance(const std::vector<RunMetrics> &runs,

@@ -15,6 +15,9 @@
  *   nurapid_sim --org base --benchmark gzip --stats
  */
 
+#include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +25,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sim/runner/run_engine.hh"
 #include "sim/system.hh"
 #include "trace/profiles.hh"
 
@@ -36,6 +40,9 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "  --list                 list workloads and organizations\n"
         "  --benchmark NAME       workload profile (default: applu)\n"
+        "  --suite                run all 15 workloads (parallel engine)\n"
+        "  --jobs N               worker threads for --suite (default:\n"
+        "                         NURAPID_JOBS or hardware concurrency)\n"
         "  --org KIND             base | dnuca | snuca | sa-place |\n"
         "                         nurapid\n"
         "  --dgroups N            NuRAPID d-groups (2/4/8; default 4)\n"
@@ -49,6 +56,40 @@ usage(const char *argv0)
         "  --scale X              scale simulation length (default 1.0)\n"
         "  --stats                dump full statistic groups\n",
         argv0);
+}
+
+/** Strict decimal parse of @p v into [lo, hi]; fatal() on garbage. */
+std::uint64_t
+parseUint(const char *flag, const std::string &v, std::uint64_t lo,
+          std::uint64_t hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long raw = std::strtoull(v.c_str(), &end, 10);
+    fatal_if(v.empty() || v[0] == '-' || !end || *end != '\0' ||
+                 errno == ERANGE,
+             "%s: '%s' is not a valid non-negative integer", flag,
+             v.c_str());
+    fatal_if(raw < lo || raw > hi,
+             "%s: %llu is out of range [%llu, %llu]", flag, raw,
+             static_cast<unsigned long long>(lo),
+             static_cast<unsigned long long>(hi));
+    return raw;
+}
+
+/** Strict parse of @p v into (lo, hi]; fatal() on garbage or NaN/inf. */
+double
+parseDouble(const char *flag, const std::string &v, double lo, double hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double raw = std::strtod(v.c_str(), &end);
+    fatal_if(v.empty() || !end || *end != '\0' || errno == ERANGE ||
+                 !std::isfinite(raw),
+             "%s: '%s' is not a valid number", flag, v.c_str());
+    fatal_if(raw <= lo || raw > hi,
+             "%s: %g is out of range (%g, %g]", flag, raw, lo, hi);
+    return raw;
 }
 
 bool
@@ -104,6 +145,8 @@ main(int argc, char **argv)
     std::string org = "nurapid";
     OrgSpec spec = OrgSpec::nurapidDefault();
     bool dump_stats = false;
+    bool run_suite = false;
+    unsigned jobs = 0;
     double scale = 0.0;
 
     std::uint32_t dgroups = 4;
@@ -129,11 +172,16 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--benchmark") {
             benchmark = value("--benchmark");
+        } else if (arg == "--suite") {
+            run_suite = true;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                parseUint("--jobs", value("--jobs"), 1, 4096));
         } else if (arg == "--org") {
             org = value("--org");
         } else if (arg == "--dgroups") {
             dgroups = static_cast<std::uint32_t>(
-                std::atoi(value("--dgroups").c_str()));
+                parseUint("--dgroups", value("--dgroups"), 1, 64));
         } else if (arg == "--promotion") {
             if (!parsePromotion(value("--promotion"), promotion))
                 fatal("unknown promotion policy");
@@ -149,7 +197,8 @@ main(int argc, char **argv)
                 fatal("unknown distance replacement '%s'", v.c_str());
         } else if (arg == "--restriction") {
             restriction = static_cast<std::uint32_t>(
-                std::atoi(value("--restriction").c_str()));
+                parseUint("--restriction", value("--restriction"), 0,
+                          1u << 20));
         } else if (arg == "--multi-port") {
             multi_port = true;
         } else if (arg == "--ideal") {
@@ -158,7 +207,7 @@ main(int argc, char **argv)
             if (!parseSearch(value("--search"), search))
                 fatal("unknown D-NUCA search policy");
         } else if (arg == "--scale") {
-            scale = std::atof(value("--scale").c_str());
+            scale = parseDouble("--scale", value("--scale"), 0.0, 1e6);
         } else if (arg == "--stats") {
             dump_stats = true;
         } else {
@@ -193,6 +242,43 @@ main(int argc, char **argv)
             length.measure_records * scale);
     }
 
+    if (run_suite) {
+        RunEngineOptions eopts = RunEngineOptions::fromEnv();
+        if (jobs)
+            eopts.jobs = jobs;
+        RunEngine engine(eopts);
+        std::printf("running the %zu-workload suite on %s with %u "
+                    "worker thread(s)...\n", workloadSuite().size(),
+                    spec.description().c_str(),
+                    engine.jobsFor(workloadSuite().size()));
+
+        const auto t0 = std::chrono::steady_clock::now();
+        auto runs = engine.runSuite(spec, workloadSuite(), length);
+        const double wall = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+
+        TextTable t;
+        t.header({"workload", "IPC", "L2 APKI", "miss", "EDP",
+                  "run wall (s)", "source"});
+        for (const auto &m : runs) {
+            t.row({m.workload, TextTable::num(m.ipc, 3),
+                   TextTable::num(m.l2_apki, 1),
+                   TextTable::pct(m.miss_frac),
+                   strprintf("%.3e", m.energy.edp),
+                   TextTable::num(m.wall_seconds, 2),
+                   m.from_cache ? "cache" : "simulated"});
+        }
+        t.print();
+        std::printf("\nsuite wall-clock %.2f s; %llu simulated "
+                    "(%.2f s), %llu cache hits (saved ~%.2f s)\n", wall,
+                    static_cast<unsigned long long>(
+                        engine.simulatedRuns()),
+                    engine.simulatedSeconds(),
+                    static_cast<unsigned long long>(engine.cacheHits()),
+                    engine.savedSeconds());
+        return 0;
+    }
+
     const WorkloadProfile &profile = findProfile(benchmark);
     std::printf("running '%s' on %s (%llu warmup + %llu measured "
                 "references)...\n", profile.name.c_str(),
@@ -222,6 +308,7 @@ main(int argc, char **argv)
     t.row({"DRAM energy (uJ)",
            TextTable::num(m.energy.memory_nj / 1000.0)});
     t.row({"energy-delay (nJ*cyc)", strprintf("%.3e", m.energy.edp)});
+    t.row({"wall-clock (s)", TextTable::num(m.wall_seconds, 2)});
     t.print();
 
     std::printf("\nhit distribution over latency regions:\n");

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the minimal JSON reader/writer behind the run cache:
+ * round trips (including %.17g double exactness and 64-bit counters),
+ * escaping, and parse-error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/fingerprint.hh"
+#include "common/json.hh"
+
+namespace nurapid {
+namespace {
+
+TEST(Json, ScalarRoundTrips)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(std::uint64_t{0}).dump(), "0");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+
+    const Json parsed = Json::parse("  true ");
+    EXPECT_EQ(parsed.type(), Json::Type::Bool);
+    EXPECT_TRUE(parsed.asBool());
+}
+
+TEST(Json, LargeIntegersAreExact)
+{
+    const std::uint64_t big = (1ull << 62) + 12345;
+    const Json j = Json::parse(Json(big).dump());
+    ASSERT_TRUE(j.isNumber());
+    EXPECT_EQ(j.asUint(), big);
+}
+
+TEST(Json, DoublesRoundTripBitExactly)
+{
+    const double values[] = {
+        0.0, -0.0, 1.0 / 3.0, 3.141592653589793, 1e-300, 2.5e300,
+        0.912345678901234567, std::numeric_limits<double>::denorm_min(),
+    };
+    for (double v : values) {
+        const Json j = Json::parse(Json(v).dump());
+        ASSERT_TRUE(j.isNumber());
+        EXPECT_EQ(j.asDouble(), v);
+    }
+}
+
+TEST(Json, StringEscapes)
+{
+    const std::string nasty = "a\"b\\c\nd\te\rf";
+    const Json j = Json::parse(Json(nasty).dump());
+    ASSERT_TRUE(j.isString());
+    EXPECT_EQ(j.asString(), nasty);
+}
+
+TEST(Json, NestedStructureRoundTrip)
+{
+    Json obj = Json::object();
+    obj.set("name", Json("applu"));
+    obj.set("count", Json(std::uint64_t{42}));
+    Json arr = Json::array();
+    arr.push(Json(0.5));
+    arr.push(Json(false));
+    arr.push(Json());
+    obj.set("frac", std::move(arr));
+
+    const Json back = Json::parse(obj.dump());
+    ASSERT_TRUE(back.isObject());
+    EXPECT_EQ(back.get("name").asString(), "applu");
+    EXPECT_EQ(back.get("count").asUint(), 42u);
+    ASSERT_EQ(back.get("frac").size(), 3u);
+    EXPECT_EQ(back.get("frac").at(0).asDouble(), 0.5);
+    EXPECT_TRUE(back.get("frac").at(2).isNull());
+    EXPECT_FALSE(back.has("missing"));
+    EXPECT_TRUE(back.get("missing").isNull());
+}
+
+TEST(Json, SetOverwritesExistingKey)
+{
+    Json obj = Json::object();
+    obj.set("k", Json(std::uint64_t{1}));
+    obj.set("k", Json(std::uint64_t{2}));
+    EXPECT_EQ(obj.members().size(), 1u);
+    EXPECT_EQ(obj.get("k").asUint(), 2u);
+}
+
+TEST(Json, ParseErrors)
+{
+    std::string err;
+    EXPECT_TRUE(Json::parse("{ not json", &err).isNull());
+    EXPECT_FALSE(err.empty());
+    EXPECT_TRUE(Json::parse("[1, 2", &err).isNull());
+    EXPECT_TRUE(Json::parse("{} trailing", &err).isNull());
+    EXPECT_TRUE(Json::parse("\"unterminated", &err).isNull());
+    EXPECT_TRUE(Json::parse("", &err).isNull());
+
+    // A valid parse clears the error slot.
+    err = "stale";
+    EXPECT_TRUE(Json::parse("{}", &err).isObject());
+    EXPECT_TRUE(err.empty());
+}
+
+TEST(Fingerprint, OrderAndValueSensitivity)
+{
+    Fingerprint a, b, c;
+    a.field("x", std::uint64_t{1}).field("y", std::uint64_t{2});
+    b.field("y", std::uint64_t{2}).field("x", std::uint64_t{1});
+    c.field("x", std::uint64_t{1}).field("y", std::uint64_t{2});
+    EXPECT_NE(a.key(), b.key());
+    EXPECT_EQ(a.key(), c.key());
+    EXPECT_EQ(a.digest(), c.digest());
+    EXPECT_EQ(a.digest().size(), 16u);
+
+    Fingerprint d, e;
+    d.field("v", 0.1);
+    e.field("v", 0.1 + 1e-18);  // rounds back to the same double
+    EXPECT_EQ(d.key(), e.key());
+
+    Fingerprint f, g;
+    f.field("v", 0.5);
+    g.field("v", 0.5000000000000001);
+    EXPECT_NE(f.key(), g.key());
+}
+
+} // namespace
+} // namespace nurapid

@@ -50,6 +50,7 @@ class FixedLower : public LowerMemory
     EnergyNJ cacheEnergyNJ() const override { return 0; }
     const std::string &name() const override { return name_; }
     StatGroup &stats() override { return stats_; }
+    const StatGroup &stats() const override { return stats_; }
     const Histogram &regionHits() const override { return hist_; }
     void resetStats() override {}
 

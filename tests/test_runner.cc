@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Run-engine tests: parallel determinism (jobs=4 bit-identical to
+ * jobs=1 across organizations), memoization (warm cache returns
+ * identical metrics without re-simulating), fingerprint stability, and
+ * cache-file persistence round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/runner/run_engine.hh"
+#include "sim/system.hh"
+#include "trace/profiles.hh"
+
+namespace nurapid {
+namespace {
+
+SimLength
+tinyLength()
+{
+    return {20'000, 60'000};
+}
+
+std::vector<RunRequest>
+crossProduct()
+{
+    const std::vector<OrgSpec> orgs = {
+        OrgSpec::baseline(),
+        OrgSpec::nurapidDefault(),
+        OrgSpec::dnucaSsPerformance(),
+        OrgSpec::coupledSA(),
+    };
+    const std::vector<std::string> names = {"applu", "mcf", "gzip"};
+    std::vector<RunRequest> reqs;
+    for (const auto &org : orgs) {
+        for (const auto &name : names)
+            reqs.push_back(RunRequest{org, findProfile(name),
+                                      tinyLength()});
+    }
+    return reqs;
+}
+
+RunEngineOptions
+uncached(unsigned jobs)
+{
+    RunEngineOptions opts;
+    opts.jobs = jobs;
+    opts.use_cache = false;
+    return opts;
+}
+
+TEST(RunEngine, ParallelBitIdenticalToSerial)
+{
+    const auto reqs = crossProduct();
+
+    RunEngine serial(uncached(1));
+    RunEngine parallel(uncached(4));
+    auto a = serial.runMany(reqs);
+    auto b = parallel.runMany(reqs);
+
+    ASSERT_EQ(a.size(), reqs.size());
+    ASSERT_EQ(b.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_TRUE(identicalMetrics(a[i], b[i]))
+            << reqs[i].spec.description() << " / "
+            << reqs[i].profile.name << ": parallel run diverged "
+            << "(serial ipc " << a[i].ipc << ", parallel ipc "
+            << b[i].ipc << ")";
+        EXPECT_FALSE(b[i].from_cache);
+        EXPECT_GT(b[i].instructions, 0u);
+    }
+    EXPECT_EQ(serial.simulatedRuns(), reqs.size());
+    EXPECT_EQ(parallel.simulatedRuns(), reqs.size());
+}
+
+TEST(RunEngine, RepeatedRequestsInOneBatchSimulateOnce)
+{
+    RunEngineOptions opts;
+    opts.jobs = 2;
+    RunEngine engine(opts);
+    const RunRequest req{OrgSpec::nurapidDefault(), findProfile("gzip"),
+                         tinyLength()};
+    auto runs = engine.runMany({req, req, req});
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_EQ(engine.simulatedRuns(), 1u);
+    EXPECT_EQ(engine.cacheHits(), 2u);
+    EXPECT_TRUE(identicalMetrics(runs[0], runs[1]));
+    EXPECT_TRUE(identicalMetrics(runs[0], runs[2]));
+    EXPECT_FALSE(runs[0].from_cache);
+    EXPECT_TRUE(runs[1].from_cache);
+}
+
+TEST(RunEngine, WarmCacheReturnsIdenticalMetricsWithoutSimulating)
+{
+    const auto reqs = crossProduct();
+    RunEngineOptions opts;
+    opts.jobs = 2;
+    RunEngine engine(opts);
+
+    auto cold = engine.runMany(reqs);
+    const auto simulated_after_cold = engine.simulatedRuns();
+    EXPECT_EQ(simulated_after_cold, reqs.size());
+
+    auto warm = engine.runMany(reqs);
+    EXPECT_EQ(engine.simulatedRuns(), simulated_after_cold)
+        << "warm cache re-simulated";
+    EXPECT_EQ(engine.cacheHits(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_TRUE(identicalMetrics(cold[i], warm[i]));
+        EXPECT_TRUE(warm[i].from_cache);
+    }
+}
+
+TEST(RunEngine, CacheFilePersistsAcrossEngines)
+{
+    const std::string path = "test_runner_cache.json";
+    std::remove(path.c_str());
+
+    const std::vector<RunRequest> reqs = {
+        RunRequest{OrgSpec::nurapidDefault(), findProfile("applu"),
+                   tinyLength()},
+        RunRequest{OrgSpec::baseline(), findProfile("applu"),
+                   tinyLength()},
+    };
+
+    RunEngineOptions opts;
+    opts.jobs = 1;
+    opts.cache_file = path;
+    std::vector<RunMetrics> first;
+    {
+        RunEngine engine(opts);
+        first = engine.runMany(reqs);
+        EXPECT_EQ(engine.simulatedRuns(), reqs.size());
+    }
+    {
+        RunEngine engine(opts);  // loads the file written above
+        auto second = engine.runMany(reqs);
+        EXPECT_EQ(engine.simulatedRuns(), 0u)
+            << "persisted cache was not used";
+        EXPECT_EQ(engine.cacheHits(), reqs.size());
+        for (std::size_t i = 0; i < reqs.size(); ++i)
+            EXPECT_TRUE(identicalMetrics(first[i], second[i]));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(RunCache, FingerprintSeparatesRunInputs)
+{
+    const auto &prof = findProfile("applu");
+    const auto base = fingerprintRun(OrgSpec::baseline(), prof,
+                                     tinyLength());
+
+    EXPECT_EQ(fingerprintRun(OrgSpec::baseline(), prof, tinyLength()).key,
+              base.key);
+    EXPECT_NE(fingerprintRun(OrgSpec::nurapidDefault(), prof,
+                             tinyLength()).key, base.key);
+    EXPECT_NE(fingerprintRun(OrgSpec::baseline(), findProfile("mcf"),
+                             tinyLength()).key, base.key);
+    EXPECT_NE(fingerprintRun(OrgSpec::baseline(), prof,
+                             SimLength{20'000, 60'001}).key, base.key);
+
+    // Policy fields beyond the description string must participate.
+    OrgSpec restricted = OrgSpec::nurapidDefault();
+    restricted.nurapid.frame_restriction = 8;
+    EXPECT_NE(fingerprintRun(restricted, prof, tinyLength()).key,
+              fingerprintRun(OrgSpec::nurapidDefault(), prof,
+                             tinyLength()).key);
+}
+
+TEST(RunCache, MetricsJsonRoundTripIsExact)
+{
+    RunMetrics m;
+    m.workload = "applu";
+    m.organization = "NuRAPID 4 d-groups (next-fastest, random)";
+    m.ipc = 0.912345678901234567;
+    m.cycles = 123456789;
+    m.instructions = 987654321;
+    m.l2_demand = 44'000;
+    m.l2_hits = 40'000;
+    m.l2_misses = 4'000;
+    m.l2_apki = 44.25;
+    m.region_frac = {0.5, 0.25, 0.125, 0.0625};
+    m.miss_frac = 1.0 / 3.0;
+    m.promotions = 777;
+    m.demotions = 888;
+    m.block_moves = 999;
+    m.data_array_accesses = 123;
+    m.energy.core_nj = 1.0e9 / 3.0;
+    m.energy.l1_nj = 0.1;
+    m.energy.l2_cache_nj = 2.5e8;
+    m.energy.memory_nj = 3.14159265358979;
+    m.energy.total_nj = 5.0e9;
+    m.energy.cycles = 123456789;
+    m.energy.edp = 6.17e17;
+    m.wall_seconds = 1.25;
+
+    RunMetrics out;
+    ASSERT_TRUE(runMetricsFromJson(
+        Json::parse(runMetricsToJson(m).dump()), out));
+    EXPECT_TRUE(identicalMetrics(m, out));
+    EXPECT_EQ(out.wall_seconds, m.wall_seconds);
+}
+
+TEST(RunCache, CorruptFileIsIgnored)
+{
+    const std::string path = "test_runner_corrupt.json";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{ not json", f);
+        std::fclose(f);
+    }
+    RunCache cache;
+    EXPECT_EQ(cache.loadFile(path), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+    std::remove(path.c_str());
+
+    // Missing file: silently empty.
+    EXPECT_EQ(cache.loadFile("does_not_exist_12345.json"), 0u);
+}
+
+} // namespace
+} // namespace nurapid
