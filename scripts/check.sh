@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Full correctness gate: builds the simulator under three compiler
+# configurations and runs the tier-1 unit suite plus a 10k-iteration
+# differential-fuzz smoke (audit hooks compiled in and forced on) under
+# each:
+#
+#   release  RelWithDebInfo, audit hooks compiled in
+#   asan     AddressSanitizer + UndefinedBehaviorSanitizer
+#   tsan     ThreadSanitizer (checks the parallel run engine)
+#
+# Usage:
+#   scripts/check.sh [--fuzz-iters N] [--configs "release asan tsan"]
+#
+# Build trees live in build-check-<config>/ so the default build/ tree
+# is never disturbed. Exits non-zero on the first failure.
+
+set -eu
+
+fuzz_iters=10000
+configs="release asan tsan"
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --fuzz-iters)
+        fuzz_iters="$2"; shift 2 ;;
+      --configs)
+        configs="$2"; shift 2 ;;
+      -h|--help)
+        sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+      *)
+        echo "unknown option '$1' (see --help)" >&2; exit 2 ;;
+    esac
+done
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+start=$(date +%s)
+
+for config in $configs; do
+    case "$config" in
+      release) flags="-DCMAKE_BUILD_TYPE=RelWithDebInfo" ;;
+      asan)    flags="-DNURAPID_SANITIZE=address,undefined" ;;
+      tsan)    flags="-DNURAPID_SANITIZE=thread" ;;
+      *)
+        echo "unknown config '$config'" >&2; exit 2 ;;
+    esac
+    dir="build-check-$config"
+
+    echo "=== [$config] configure ($flags) ==="
+    # shellcheck disable=SC2086  # flags is a word list on purpose
+    cmake -B "$dir" -S . -DNURAPID_AUDIT=ON $flags >/dev/null
+    echo "=== [$config] build ==="
+    cmake --build "$dir" -j "$jobs" >/dev/null
+
+    echo "=== [$config] ctest -L tier1 ==="
+    (cd "$dir" && ctest -L tier1 -j "$jobs" --output-on-failure \
+        | tail -n 3)
+
+    echo "=== [$config] fuzz smoke ($fuzz_iters iters, audits on) ==="
+    NURAPID_AUDIT=1 NURAPID_AUDIT_INTERVAL=512 \
+        "$dir/src/tools/nurapid_fuzz" --iters "$fuzz_iters" \
+        --dump-dir "$dir"
+done
+
+end=$(date +%s)
+echo "check.sh: all configs ($configs) clean in $((end - start)) s"

@@ -29,15 +29,26 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
     if (type == AccessType::Writeback) {
         // L1 dirty eviction: absorb into L2 (write-allocate), push any
         // L2 victim into L3. Off the critical path.
+        Result result;
+        result.latency = 0;
+        result.hit = true;
         cacheEnergy += l2Timing.write_nj;
         auto r = l2Cache.access(addr, /*is_write=*/true);
         if (r.evicted && r.evicted_dirty) {
             cacheEnergy += l3Timing.write_nj;
             auto r3 = l3Cache.access(r.evicted_addr, true);
-            if (r3.evicted && r3.evicted_dirty)
-                mem.write(p.l3.block_bytes);
+            if (r3.evicted && !l2Cache.contains(r3.evicted_addr)) {
+                // The L3 victim leaves the hierarchy unless a (non-
+                // inclusive) L2 copy keeps it on chip.
+                result.noteEvicted(r3.evicted_addr, r3.evicted_dirty);
+                if (r3.evicted_dirty)
+                    mem.write(p.l3.block_bytes);
+            }
+        } else if (r.evicted && !l3Cache.contains(r.evicted_addr)) {
+            // Clean L2 victims are dropped, not pushed into L3.
+            result.noteEvicted(r.evicted_addr, false);
         }
-        return {0, true};
+        return result;
     }
 
     const bool is_write = type == AccessType::Write;
@@ -50,8 +61,13 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
         // Non-inclusive hierarchy: L2 victims are allocated into L3.
         cacheEnergy += l3Timing.write_nj;
         auto wb = l3Cache.access(r2.evicted_addr, true);
-        if (wb.evicted && wb.evicted_dirty)
-            mem.write(p.l3.block_bytes);
+        if (wb.evicted && !l2Cache.contains(wb.evicted_addr)) {
+            result.noteEvicted(wb.evicted_addr, wb.evicted_dirty);
+            if (wb.evicted_dirty)
+                mem.write(p.l3.block_bytes);
+        }
+    } else if (r2.evicted && !l3Cache.contains(r2.evicted_addr)) {
+        result.noteEvicted(r2.evicted_addr, false);
     }
     if (r2.hit) {
         ++statL2Hits;
@@ -63,8 +79,13 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
 
     cacheEnergy += l3Timing.read_nj;
     auto r3 = l3Cache.access(addr, is_write);
-    if (r3.evicted && r3.evicted_dirty)
+    if (r3.evicted && !l2Cache.contains(r3.evicted_addr)) {
+        result.noteEvicted(r3.evicted_addr, r3.evicted_dirty);
+        if (r3.evicted_dirty)
+            mem.write(p.l3.block_bytes);
+    } else if (r3.evicted && r3.evicted_dirty) {
         mem.write(p.l3.block_bytes);
+    }
     if (r3.hit) {
         ++statL3Hits;
         regionHist.sample(1);

@@ -44,6 +44,20 @@ class ConventionalL2L3 : public LowerMemory
     const Histogram &regionHits() const override { return regionHist; }
     void resetStats() override;
 
+    /** Reports each on-chip block once per level it resides in. */
+    void forEachResident(const ResidentFn &fn) const override
+    {
+        l2Cache.forEachValid(fn);
+        l3Cache.forEachValid(fn);
+    }
+
+    bool audit(AuditSink &sink) const override
+    {
+        const bool l2_ok = l2Cache.audit(sink);
+        const bool l3_ok = l3Cache.audit(sink);
+        return l2_ok && l3_ok;
+    }
+
     SetAssocCache &l2() { return l2Cache; }
     SetAssocCache &l3() { return l3Cache; }
     MainMemory &memory() { return mem; }

@@ -10,23 +10,59 @@
 #ifndef NURAPID_MEM_LOWER_MEMORY_HH
 #define NURAPID_MEM_LOWER_MEMORY_HH
 
+#include <array>
+#include <functional>
 #include <string>
 
 #include "common/histogram.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "sim/audit/audit.hh"
 
 namespace nurapid {
 
 class LowerMemory
 {
   public:
+    /** A block that left the organization entirely during one access
+     *  (evicted to memory or dropped clean). */
+    struct Evicted
+    {
+        Addr addr;   //!< block-aligned address
+        bool dirty;  //!< written back to memory
+    };
+
     /** Outcome of one L1-miss access into the lower hierarchy. */
     struct Result
     {
+        /** Most departures any organization can cause in one access:
+         *  NuRAPID's set-LRU eviction plus a Section 2.4.3 restriction
+         *  eviction; the conventional hierarchy's L2 and L3 victims. */
+        static constexpr std::uint32_t kMaxEvicted = 2;
+
         Cycles latency = 0;  //!< cycles until data returns to L1
         bool hit = false;    //!< hit anywhere on chip below L1
+
+        /** Blocks that left the organization during this access, in
+         *  departure order — the differential oracle mirrors residency
+         *  from these. A block moving *within* the organization (a
+         *  demotion, an L2 victim caught by the L3) is not reported. */
+        /** Only the first num_evicted entries are meaningful; the rest
+         *  stay uninitialized so the hot path never pays for them. */
+        std::uint8_t num_evicted = 0;
+        std::array<Evicted, kMaxEvicted> evicted;
+
+        void noteEvicted(Addr addr, bool dirty)
+        {
+            panic_if(num_evicted >= kMaxEvicted,
+                     "more than %u evictions in one access", kMaxEvicted);
+            evicted[num_evicted++] = Evicted{addr, dirty};
+        }
     };
+
+    /** Callback for forEachResident: block-aligned address + dirty. */
+    using ResidentFn = std::function<void(Addr, bool)>;
 
     virtual ~LowerMemory() = default;
 
@@ -61,6 +97,22 @@ class LowerMemory
 
     /** Zeroes statistics after cache warmup. */
     virtual void resetStats() = 0;
+
+    /**
+     * Enumerates every block currently resident in the organization.
+     * The conventional hierarchy may report a block twice (L2 and L3
+     * copies); single-residence organizations report each block once.
+     * Test/audit path — not called during simulation.
+     */
+    virtual void forEachResident(const ResidentFn &fn) const = 0;
+
+    /**
+     * Checks the organization's structural invariants, reporting every
+     * violation to @p sink with full (set, way, d-group, frame)
+     * context. Always compiled; the fuzzer and tests call it directly.
+     * Returns true when no violation was reported.
+     */
+    virtual bool audit(AuditSink &sink) const = 0;
 };
 
 } // namespace nurapid

@@ -163,6 +163,54 @@ SetAssocCache::invalidate(Addr addr)
     return false;
 }
 
+void
+SetAssocCache::forEachValid(const std::function<void(Addr, bool)> &fn) const
+{
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        for (std::uint32_t w = 0; w < organization.assoc; ++w) {
+            const Line &l = lines[std::size_t{s} * organization.assoc + w];
+            if (l.valid)
+                fn((l.tag * sets + s) * organization.block_bytes, l.dirty);
+        }
+    }
+}
+
+std::uint64_t
+SetAssocCache::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const Line &l : lines)
+        n += l.valid ? 1 : 0;
+    return n;
+}
+
+bool
+SetAssocCache::audit(AuditSink &sink) const
+{
+    bool clean = true;
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        for (std::uint32_t w = 0; w < organization.assoc; ++w) {
+            const Line &l = lines[std::size_t{s} * organization.assoc + w];
+            if (!l.valid)
+                continue;
+            for (std::uint32_t w2 = w + 1; w2 < organization.assoc; ++w2) {
+                const Line &o =
+                    lines[std::size_t{s} * organization.assoc + w2];
+                if (o.valid && o.tag == l.tag) {
+                    clean = false;
+                    sink.violation({organization.name, "duplicate-tag",
+                                    strprintf("tag %#llx also in way %u",
+                                              static_cast<unsigned long long>(
+                                                  l.tag), w2),
+                                    s, w, AuditViolation::kNoIndex,
+                                    AuditViolation::kNoIndex});
+                }
+            }
+        }
+    }
+    return clean;
+}
+
 double
 SetAssocCache::missRatio() const
 {

@@ -12,6 +12,7 @@
 #define NURAPID_MEM_SET_ASSOC_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/replacement.hh"
+#include "sim/audit/audit.hh"
 
 namespace nurapid {
 
@@ -76,6 +78,20 @@ class SetAssocCache
 
     /** Set index of an address (exposed for hot-set analyses). */
     std::uint32_t setIndex(Addr addr) const;
+
+    /** Calls @p fn(block_addr, dirty) for every valid line. */
+    void forEachValid(const std::function<void(Addr, bool)> &fn) const;
+
+    /** Count of valid lines. */
+    std::uint64_t validCount() const;
+
+    /**
+     * Audits tag-store integrity: no set holds two valid lines with the
+     * same tag (a duplicate silently halves effective capacity and
+     * makes hit way selection order-dependent). Violations go to
+     * @p sink under component name "<org name>"; returns true if clean.
+     */
+    bool audit(AuditSink &sink) const;
 
   private:
     struct Line

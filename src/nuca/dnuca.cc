@@ -228,6 +228,7 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
 
         result.hit = true;
         result.latency = is_writeback ? 0 : lookup_lat;
+        NURAPID_AUDIT_POINT(auditTick, audit(audit::hookSink()));
         return result;
     }
 
@@ -253,6 +254,7 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
         ++statEvictions;
         ++statBankDataAccesses;
         cacheEnergy += times.bank(p.rows - 1, col).access_nj;
+        result.noteEvicted((v.tag * sets + set) * p.block_bytes, v.dirty);
         if (v.dirty)
             mem.write(p.block_bytes);
         v.valid = false;
@@ -272,6 +274,7 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
 
     result.hit = false;
     result.latency = is_writeback ? 0 : lookup_lat + mem_lat;
+    NURAPID_AUDIT_POINT(auditTick, audit(audit::hookSink()));
     return result;
 }
 
@@ -279,6 +282,59 @@ EnergyNJ
 DNucaCache::dynamicEnergyNJ() const
 {
     return cacheEnergy + mem.dynamicEnergyNJ();
+}
+
+void
+DNucaCache::forEachResident(const ResidentFn &fn) const
+{
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        for (std::uint32_t w = 0; w < p.assoc; ++w) {
+            const Line &l = lines[std::size_t{s} * p.assoc + w];
+            if (l.valid)
+                fn((l.tag * sets + s) * p.block_bytes, l.dirty);
+        }
+    }
+}
+
+bool
+DNucaCache::audit(AuditSink &sink) const
+{
+    bool clean = true;
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        for (std::uint32_t w = 0; w < p.assoc; ++w) {
+            const std::size_t idx = std::size_t{s} * p.assoc + w;
+            const Line &l = lines[idx];
+            if (!l.valid)
+                continue;
+            // A duplicate tag makes the multicast search ambiguous:
+            // two banks would answer the same request.
+            for (std::uint32_t w2 = w + 1; w2 < p.assoc; ++w2) {
+                const Line &o = lines[std::size_t{s} * p.assoc + w2];
+                if (o.valid && o.tag == l.tag) {
+                    clean = false;
+                    sink.violation({p.name, "duplicate-tag",
+                                    strprintf("tag %#llx also in way %u",
+                                              static_cast<
+                                                  unsigned long long>(
+                                                  l.tag), w2),
+                                    s, w, AuditViolation::kNoIndex,
+                                    AuditViolation::kNoIndex});
+                }
+            }
+            if (stamps[idx] > clock) {
+                clean = false;
+                sink.violation({p.name, "stamp-beyond-clock",
+                                strprintf("stamp %llu > clock %llu",
+                                          static_cast<unsigned long long>(
+                                              stamps[idx]),
+                                          static_cast<unsigned long long>(
+                                              clock)),
+                                s, w, AuditViolation::kNoIndex,
+                                AuditViolation::kNoIndex});
+            }
+        }
+    }
+    return clean;
 }
 
 void

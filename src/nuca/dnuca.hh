@@ -72,6 +72,8 @@ class DNucaCache : public LowerMemory
     const StatGroup &stats() const override { return statGroup; }
     const Histogram &regionHits() const override { return regionHist; }
     void resetStats() override;
+    void forEachResident(const ResidentFn &fn) const override;
+    bool audit(AuditSink &sink) const override;
 
     MainMemory &memory() { return mem; }
     const DNucaTiming &timing() const { return times; }
@@ -108,6 +110,7 @@ class DNucaCache : public LowerMemory
     std::vector<Cycle> bankFree;  //!< [row * cols + col]
     MainMemory mem;
     EnergyNJ cacheEnergy = 0;
+    std::uint64_t auditTick = 0;  //!< periodic-audit access counter
 
     StatGroup statGroup;
     Counter statDemandAccesses;

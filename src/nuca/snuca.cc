@@ -65,11 +65,14 @@ SNucaCache::access(Addr addr, AccessType type, Cycle now)
 
     cacheEnergy += times.bank(row, col).access_nj;
 
-    auto r = banks[bank_idx].access(block, is_write);
-    if (r.evicted && r.evicted_dirty)
-        mem.write(p.block_bytes);
-
     Result result;
+    auto r = banks[bank_idx].access(block, is_write);
+    if (r.evicted) {
+        result.noteEvicted(r.evicted_addr, r.evicted_dirty);
+        if (r.evicted_dirty)
+            mem.write(p.block_bytes);
+    }
+
     const auto wait = static_cast<Cycles>(start - now);
     if (r.hit) {
         if (!is_writeback) {
@@ -97,6 +100,40 @@ EnergyNJ
 SNucaCache::dynamicEnergyNJ() const
 {
     return cacheEnergy + mem.dynamicEnergyNJ();
+}
+
+void
+SNucaCache::forEachResident(const ResidentFn &fn) const
+{
+    for (const auto &b : banks)
+        b.forEachValid(fn);
+}
+
+bool
+SNucaCache::audit(AuditSink &sink) const
+{
+    bool clean = true;
+    for (std::uint32_t b = 0; b < banks.size(); ++b) {
+        if (!banks[b].audit(sink))
+            clean = false;
+        // Static placement: every block in bank b must map there.
+        banks[b].forEachValid([&](Addr addr, bool) {
+            if (bankOf(addr) != b) {
+                clean = false;
+                sink.violation({p.name, "bank-misplacement",
+                                strprintf("block %#llx in bank %u, maps "
+                                          "to bank %u",
+                                          static_cast<unsigned long long>(
+                                              addr),
+                                          b, bankOf(addr)),
+                                AuditViolation::kNoIndex,
+                                AuditViolation::kNoIndex,
+                                AuditViolation::kNoIndex,
+                                AuditViolation::kNoIndex});
+            }
+        });
+    }
+    return clean;
 }
 
 void

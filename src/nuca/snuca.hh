@@ -50,6 +50,8 @@ class SNucaCache : public LowerMemory
     const StatGroup &stats() const override { return statGroup; }
     const Histogram &regionHits() const override { return regionHist; }
     void resetStats() override;
+    void forEachResident(const ResidentFn &fn) const override;
+    bool audit(AuditSink &sink) const override;
 
     MainMemory &memory() { return mem; }
     const DNucaTiming &timing() const { return times; }

@@ -172,6 +172,8 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
             ++statDGroupAccesses;
             cacheEnergy +=
                 times.dgroups[groupOfWay(victim)].data_read_nj;
+            result.noteEvicted((v.tag * sets + set) * p.block_bytes,
+                               v.dirty);
             if (v.dirty)
                 mem.write(p.block_bytes);
             v.valid = false;
@@ -219,8 +221,10 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
                 mem_lat;
     }
 
-    if (p.single_port && !is_writeback)
+    if (p.single_port && !is_writeback) {
+        NURAPID_AUDIT_POINT(auditTick, audit(audit::hookSink()));
         portFree = start + busy;
+    }
     return result;
 }
 
@@ -228,6 +232,57 @@ EnergyNJ
 CoupledNucaCache::dynamicEnergyNJ() const
 {
     return cacheEnergy + mem.dynamicEnergyNJ();
+}
+
+void
+CoupledNucaCache::forEachResident(const ResidentFn &fn) const
+{
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        for (std::uint32_t w = 0; w < p.assoc; ++w) {
+            const Line &l = lines[std::size_t{s} * p.assoc + w];
+            if (l.valid)
+                fn((l.tag * sets + s) * p.block_bytes, l.dirty);
+        }
+    }
+}
+
+bool
+CoupledNucaCache::audit(AuditSink &sink) const
+{
+    bool clean = true;
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        for (std::uint32_t w = 0; w < p.assoc; ++w) {
+            const std::size_t idx = std::size_t{s} * p.assoc + w;
+            const Line &l = lines[idx];
+            if (!l.valid)
+                continue;
+            for (std::uint32_t w2 = w + 1; w2 < p.assoc; ++w2) {
+                const Line &o = lines[std::size_t{s} * p.assoc + w2];
+                if (o.valid && o.tag == l.tag) {
+                    clean = false;
+                    sink.violation({p.name, "duplicate-tag",
+                                    strprintf("tag %#llx also in way %u",
+                                              static_cast<
+                                                  unsigned long long>(
+                                                  l.tag), w2),
+                                    s, w, groupOfWay(w),
+                                    AuditViolation::kNoIndex});
+                }
+            }
+            if (stamps[idx] > clock) {
+                clean = false;
+                sink.violation({p.name, "stamp-beyond-clock",
+                                strprintf("stamp %llu > clock %llu",
+                                          static_cast<unsigned long long>(
+                                              stamps[idx]),
+                                          static_cast<unsigned long long>(
+                                              clock)),
+                                s, w, groupOfWay(w),
+                                AuditViolation::kNoIndex});
+            }
+        }
+    }
+    return clean;
 }
 
 void

@@ -49,6 +49,8 @@ class CoupledNucaCache : public LowerMemory
     const StatGroup &stats() const override { return statGroup; }
     const Histogram &regionHits() const override { return regionHist; }
     void resetStats() override;
+    void forEachResident(const ResidentFn &fn) const override;
+    bool audit(AuditSink &sink) const override;
 
     MainMemory &memory() { return mem; }
     const NuRapidTiming &timing() const { return times; }
@@ -77,6 +79,7 @@ class CoupledNucaCache : public LowerMemory
     MainMemory mem;
     Cycle portFree = 0;
     EnergyNJ cacheEnergy = 0;
+    std::uint64_t auditTick = 0;  //!< periodic-audit access counter
 
     StatGroup statGroup;
     Counter statDemandAccesses;

@@ -208,4 +208,115 @@ DataArray::validCount() const
     return n;
 }
 
+bool
+DataArray::audit(AuditSink &sink) const
+{
+    bool clean = true;
+    const auto report = [&](const char *inv, std::string detail,
+                            std::uint32_t g, std::uint32_t f) {
+        clean = false;
+        sink.violation({"data-array", inv, std::move(detail),
+                        AuditViolation::kNoIndex, AuditViolation::kNoIndex,
+                        g, f});
+    };
+
+    for (std::uint32_t g = 0; g < nGroups; ++g) {
+        const std::size_t base = std::size_t{g} * nFrames;
+        for (std::uint32_t r = 0; r < nRegions; ++r) {
+            const RegionList &rl = lists[std::size_t{g} * nRegions + r];
+            const std::uint32_t lo = r * framesPerRegion;
+
+            // Walk the LRU chain head→tail, bounding the walk so a
+            // cycle cannot hang the audit.
+            std::vector<bool> chained(framesPerRegion, false);
+            std::uint32_t chain_len = 0;
+            std::uint32_t prev = kNoFrame;
+            std::uint32_t f = rl.head;
+            while (f != kNoFrame && chain_len <= framesPerRegion) {
+                if (regionOfFrame(f) != r) {
+                    report("chain-crosses-region",
+                           strprintf("frame of region %u on region %u's "
+                                     "chain", regionOfFrame(f), r), g, f);
+                    break;
+                }
+                if (chained[f - lo]) {
+                    report("chain-cycle",
+                           strprintf("frame revisited after %u links",
+                                     chain_len), g, f);
+                    break;
+                }
+                chained[f - lo] = true;
+                ++chain_len;
+                const Node &n = nodes[base + f];
+                if (!n.linked)
+                    report("chain-unlinked-node",
+                           "frame on chain but not marked linked", g, f);
+                if (!frames[base + f].valid)
+                    report("chain-invalid-frame",
+                           "invalid frame on the LRU chain", g, f);
+                if (n.prev != prev) {
+                    report("chain-bad-prev",
+                           strprintf("prev is %u, expected %u", n.prev,
+                                     prev), g, f);
+                }
+                prev = f;
+                f = n.next;
+            }
+            if (f == kNoFrame && rl.tail != prev) {
+                report("chain-bad-tail",
+                       strprintf("tail is %u, chain ends at %u", rl.tail,
+                                 prev), g,
+                       rl.tail == kNoFrame ? AuditViolation::kNoIndex
+                                           : rl.tail);
+            }
+
+            // Free list: exactly the invalid frames of the region.
+            std::vector<bool> freed(framesPerRegion, false);
+            for (const std::uint32_t ff : rl.free) {
+                if (regionOfFrame(ff) != r) {
+                    report("free-crosses-region",
+                           strprintf("frame of region %u on region %u's "
+                                     "free list", regionOfFrame(ff), r),
+                           g, ff);
+                    continue;
+                }
+                if (freed[ff - lo]) {
+                    report("free-duplicate",
+                           "frame on the free list twice", g, ff);
+                    continue;
+                }
+                freed[ff - lo] = true;
+                if (frames[base + ff].valid)
+                    report("free-valid-frame",
+                           "valid frame on the free list", g, ff);
+                if (nodes[base + ff].linked)
+                    report("free-linked-frame",
+                           "free frame still on the LRU chain", g, ff);
+            }
+
+            // Every frame is on exactly one of the two structures.
+            for (std::uint32_t i = 0; i < framesPerRegion; ++i) {
+                const std::uint32_t ff = lo + i;
+                const bool valid = frames[base + ff].valid;
+                if (valid && !chained[i])
+                    report("valid-not-chained",
+                           "valid frame missing from the LRU chain",
+                           g, ff);
+                if (!valid && !freed[i])
+                    report("invalid-not-free",
+                           "invalid frame missing from the free list",
+                           g, ff);
+            }
+            if (chain_len + rl.free.size() != framesPerRegion) {
+                report("occupancy-mismatch",
+                       strprintf("chain %u + free %zu != region frames "
+                                 "%u in region %u", chain_len,
+                                 rl.free.size(), framesPerRegion, r),
+                       g, AuditViolation::kNoIndex);
+            }
+        }
+    }
+    return clean;
+}
+
 } // namespace nurapid

@@ -27,6 +27,7 @@
 #include "common/types.hh"
 #include "mem/replacement.hh"
 #include "nurapid/policies.hh"
+#include "sim/audit/audit.hh"
 
 namespace nurapid {
 
@@ -91,6 +92,16 @@ class DataArray
 
     /** Valid-frame count (for invariant checks in tests). */
     std::uint64_t validCount() const;
+
+    /**
+     * Audits data-side invariants for every (d-group, region): the LRU
+     * chain links exactly the valid frames of the region (acyclic, with
+     * consistent prev/next and head/tail), the free list holds exactly
+     * the invalid frames (no duplicates, no valid frames), and both
+     * partitions sum to the region's frame count. Violations carry
+     * (group, frame) context; returns true if clean.
+     */
+    bool audit(AuditSink &sink) const;
 
   private:
     struct RegionList

@@ -69,7 +69,7 @@ NuRapidCache::moveBlock(std::uint32_t group, std::uint32_t frame,
 
 std::uint32_t
 NuRapidCache::ensureFree(std::uint32_t group, std::uint32_t region,
-                         Cycles &busy)
+                         Cycles &busy, Result &result)
 {
     if (dataArray.hasFree(group, region))
         return dataArray.allocFrame(group, region);
@@ -84,6 +84,7 @@ NuRapidCache::ensureFree(std::uint32_t group, std::uint32_t region,
         const std::uint32_t f = dataArray.victimFrame(group, region);
         const DataArray::Frame &fr = dataArray.frame(group, f);
         TagArray::Entry &e = tagArray.entry(fr.set, fr.way);
+        result.noteEvicted(tagArray.blockAddr(fr.set, fr.way), e.dirty);
         if (e.dirty)
             mem.write(p.block_bytes);
         e.valid = false;
@@ -95,7 +96,7 @@ NuRapidCache::ensureFree(std::uint32_t group, std::uint32_t region,
     }
 
     const std::uint32_t victim = dataArray.victimFrame(group, region);
-    const std::uint32_t dest = ensureFree(group + 1, region, busy);
+    const std::uint32_t dest = ensureFree(group + 1, region, busy, result);
     moveBlock(group, victim, group + 1, dest);
     ++statDemotions;
     busy += times.swapBusy(group, group + 1);
@@ -221,6 +222,7 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
         TagArray::Entry &e = tagArray.entry(look.set, way);
         if (e.valid) {
             ++statEvictions;
+            result.noteEvicted(tagArray.blockAddr(look.set, way), e.dirty);
             if (e.dirty) {
                 ++statDirtyEvictions;
                 mem.write(p.block_bytes);
@@ -234,7 +236,7 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
         // d-group (Section 2.1), demoting as needed.
         const std::uint32_t region = dataArray.regionOf(
             block / p.block_bytes);
-        const std::uint32_t f0 = ensureFree(0, region, busy);
+        const std::uint32_t f0 = ensureFree(0, region, busy, result);
 
         e.valid = true;
         e.dirty = is_write;
@@ -257,8 +259,36 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
                 mem_lat;
     }
 
-    if (p.single_port && !p.ideal_fastest && !is_writeback)
+    if (p.single_port && !p.ideal_fastest && !is_writeback) {
+        // Single-port serialization (Section 2.3): this access's work
+        // must begin no earlier than the previous holder released the
+        // port, and must occupy it for at least one port cycle.
+        NURAPID_AUDIT_POINT(auditTick, {
+            if (start < portFree) {
+                audit::hookSink().violation(
+                    {p.name, "port-double-booked",
+                     strprintf("access started at %llu before port free "
+                               "at %llu",
+                               static_cast<unsigned long long>(start),
+                               static_cast<unsigned long long>(portFree)),
+                     AuditViolation::kNoIndex, AuditViolation::kNoIndex,
+                     AuditViolation::kNoIndex, AuditViolation::kNoIndex});
+            }
+            if (busy < times.port_cycle) {
+                audit::hookSink().violation(
+                    {p.name, "port-occupancy-lost",
+                     strprintf("access occupied the port for %llu < one "
+                               "port cycle (%llu)",
+                               static_cast<unsigned long long>(busy),
+                               static_cast<unsigned long long>(
+                                   times.port_cycle)),
+                     AuditViolation::kNoIndex, AuditViolation::kNoIndex,
+                     AuditViolation::kNoIndex, AuditViolation::kNoIndex});
+            }
+            audit(audit::hookSink());
+        });
         portFree = start + busy;
+    }
 
     return result;
 }
@@ -278,14 +308,42 @@ NuRapidCache::resetStats()
     cacheEnergy = 0;
 }
 
-bool
-NuRapidCache::checkInvariants() const
+void
+NuRapidCache::forEachResident(const ResidentFn &fn) const
 {
-    // Every valid tag entry's forward pointer must land on a valid
-    // frame whose reverse pointer names that entry, and the counts of
-    // valid tags and valid frames must match.
-    if (tagArray.validCount() != dataArray.validCount())
-        return false;
+    for (std::uint32_t s = 0; s < tagArray.numSets(); ++s) {
+        for (std::uint32_t w = 0; w < tagArray.assoc(); ++w) {
+            const TagArray::Entry &e = tagArray.entry(s, w);
+            if (e.valid)
+                fn(tagArray.blockAddr(s, w), e.dirty);
+        }
+    }
+}
+
+bool
+NuRapidCache::audit(AuditSink &sink) const
+{
+    bool clean = tagArray.audit(sink);
+    if (!dataArray.audit(sink))
+        clean = false;
+
+    // Counts: the tag and data sides must hold the same block count.
+    if (tagArray.validCount() != dataArray.validCount()) {
+        clean = false;
+        sink.violation({p.name, "count-mismatch",
+                        strprintf("%llu valid tags vs %llu valid frames",
+                                  static_cast<unsigned long long>(
+                                      tagArray.validCount()),
+                                  static_cast<unsigned long long>(
+                                      dataArray.validCount())),
+                        AuditViolation::kNoIndex, AuditViolation::kNoIndex,
+                        AuditViolation::kNoIndex,
+                        AuditViolation::kNoIndex});
+    }
+
+    // Forward direction: every valid tag entry's (group, frame) pointer
+    // must land on a valid frame whose reverse pointer names it, in the
+    // region its address hashes to (Section 2.4.3).
     for (std::uint32_t s = 0; s < tagArray.numSets(); ++s) {
         for (std::uint32_t w = 0; w < tagArray.assoc(); ++w) {
             const TagArray::Entry &e = tagArray.entry(s, w);
@@ -293,21 +351,86 @@ NuRapidCache::checkInvariants() const
                 continue;
             if (e.group >= dataArray.numGroups() ||
                 e.frame >= dataArray.framesPerGroup()) {
-                return false;
+                clean = false;
+                sink.violation({p.name, "forward-pointer-range",
+                                strprintf("points at (%u, %u), array is "
+                                          "%u x %u", e.group, e.frame,
+                                          dataArray.numGroups(),
+                                          dataArray.framesPerGroup()),
+                                s, w, e.group, e.frame});
+                continue;
             }
             const DataArray::Frame &f = dataArray.frame(e.group, e.frame);
-            if (!f.valid || f.set != s || f.way != w)
-                return false;
+            if (!f.valid || f.set != s || f.way != w) {
+                clean = false;
+                sink.violation({p.name, "forward-reverse-mismatch",
+                                f.valid
+                                    ? strprintf("frame points back at "
+                                                "(%u, %u)", f.set,
+                                                unsigned{f.way})
+                                    : std::string("frame is invalid"),
+                                s, w, e.group, e.frame});
+            }
             if (p.frame_restriction != 0) {
                 const Addr bi = tagArray.blockAddr(s, w) / p.block_bytes;
                 if (dataArray.regionOfFrame(e.frame) !=
                         dataArray.regionOf(bi)) {
-                    return false;
+                    clean = false;
+                    sink.violation({p.name, "region-restriction",
+                                    strprintf("block of region %u placed "
+                                              "in region %u",
+                                              dataArray.regionOf(bi),
+                                              dataArray.regionOfFrame(
+                                                  e.frame)),
+                                    s, w, e.group, e.frame});
                 }
             }
         }
     }
-    return true;
+
+    // Reverse direction: every valid frame's (set, way) pointer must
+    // name a valid tag entry whose forward pointer names this frame.
+    for (std::uint32_t g = 0; g < dataArray.numGroups(); ++g) {
+        for (std::uint32_t f = 0; f < dataArray.framesPerGroup(); ++f) {
+            const DataArray::Frame &fr = dataArray.frame(g, f);
+            if (!fr.valid)
+                continue;
+            if (fr.set >= tagArray.numSets() ||
+                fr.way >= tagArray.assoc()) {
+                clean = false;
+                sink.violation({p.name, "reverse-pointer-range",
+                                strprintf("points at (%u, %u), tag array "
+                                          "is %u x %u", fr.set,
+                                          unsigned{fr.way},
+                                          tagArray.numSets(),
+                                          tagArray.assoc()),
+                                AuditViolation::kNoIndex,
+                                AuditViolation::kNoIndex, g, f});
+                continue;
+            }
+            const TagArray::Entry &e = tagArray.entry(fr.set, fr.way);
+            if (!e.valid || e.group != g || e.frame != f) {
+                clean = false;
+                sink.violation({p.name, "reverse-forward-mismatch",
+                                e.valid
+                                    ? strprintf("entry points at "
+                                                "(%u, %u)",
+                                                unsigned{e.group},
+                                                e.frame)
+                                    : std::string("entry is invalid"),
+                                fr.set, fr.way, g, f});
+            }
+        }
+    }
+
+    return clean;
+}
+
+bool
+NuRapidCache::checkInvariants() const
+{
+    CountingAuditSink sink;
+    return audit(sink);
 }
 
 std::uint32_t

@@ -66,12 +66,22 @@ class NuRapidCache : public LowerMemory
     const StatGroup &stats() const override { return statGroup; }
     const Histogram &regionHits() const override { return regionHist; }
     void resetStats() override;
+    void forEachResident(const ResidentFn &fn) const override;
+
+    /**
+     * Full structural audit: tag-array and data-array local invariants,
+     * the forward/reverse pointer bijection in both directions,
+     * matching valid-entry/valid-frame counts, and (when restricted)
+     * region-correct placement. Violations carry (set, way, d-group,
+     * frame) context.
+     */
+    bool audit(AuditSink &sink) const override;
 
     const Params &params() const { return p; }
     const NuRapidTiming &timing() const { return times; }
     MainMemory &memory() { return mem; }
 
-    /** Deep consistency check of forward/reverse pointers (tests). */
+    /** Deep consistency check — audit() into a counting sink. */
     bool checkInvariants() const;
 
     /** Frames of the fastest d-group holding blocks of @p set (tests
@@ -82,6 +92,11 @@ class NuRapidCache : public LowerMemory
     const TagArray &tags() const { return tagArray; }
     const DataArray &data() const { return dataArray; }
 
+    /** Mutable views for fault-injection tests: corrupt a pointer, then
+     *  assert audit() pinpoints it. Never used by the simulator. */
+    TagArray &tagsForTesting() { return tagArray; }
+    DataArray &dataForTesting() { return dataArray; }
+
   private:
     /**
      * Guarantees a free frame in @p region of @p group by cascading
@@ -89,7 +104,7 @@ class NuRapidCache : public LowerMemory
      * port-occupancy into @p busy.
      */
     std::uint32_t ensureFree(std::uint32_t group, std::uint32_t region,
-                             Cycles &busy);
+                             Cycles &busy, Result &result);
 
     /** Moves the block in (group, frame) to (dest_group, dest_frame),
      *  updating the forward and reverse pointers. */
@@ -106,6 +121,7 @@ class NuRapidCache : public LowerMemory
     MainMemory mem;
     Cycle portFree = 0;
     EnergyNJ cacheEnergy = 0;
+    std::uint64_t auditTick = 0;  //!< periodic-audit access counter
 
     StatGroup statGroup;
     Counter statDemandAccesses;

@@ -100,4 +100,44 @@ TagArray::validCount() const
     return n;
 }
 
+bool
+TagArray::audit(AuditSink &sink) const
+{
+    bool clean = true;
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        const std::size_t base = std::size_t{s} * ways;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            const Entry &e = entries[base + w];
+            if (e.valid) {
+                for (std::uint32_t w2 = w + 1; w2 < ways; ++w2) {
+                    const Entry &o = entries[base + w2];
+                    if (o.valid && o.tag == e.tag) {
+                        clean = false;
+                        sink.violation({"tag-array", "duplicate-tag",
+                                        strprintf("tag %#llx also in "
+                                                  "way %u",
+                                                  static_cast<
+                                                      unsigned long long>(
+                                                      e.tag), w2),
+                                        s, w, AuditViolation::kNoIndex,
+                                        AuditViolation::kNoIndex});
+                    }
+                }
+            }
+            if (stamps[base + w] > clock) {
+                clean = false;
+                sink.violation({"tag-array", "stamp-beyond-clock",
+                                strprintf("stamp %llu > clock %llu",
+                                          static_cast<unsigned long long>(
+                                              stamps[base + w]),
+                                          static_cast<unsigned long long>(
+                                              clock)),
+                                s, w, AuditViolation::kNoIndex,
+                                AuditViolation::kNoIndex});
+            }
+        }
+    }
+    return clean;
+}
+
 } // namespace nurapid

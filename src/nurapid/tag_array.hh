@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/audit/audit.hh"
 
 namespace nurapid {
 
@@ -64,6 +65,14 @@ class TagArray
 
     /** Count of valid entries (for invariant checks in tests). */
     std::uint64_t validCount() const;
+
+    /**
+     * Audits tag-side invariants: no set holds two valid entries with
+     * the same tag (set-associative placement, Section 2.1), and no
+     * LRU stamp runs ahead of the array clock. Violations carry (set,
+     * way) context; returns true if clean.
+     */
+    bool audit(AuditSink &sink) const;
 
   private:
     std::uint32_t sets;

@@ -1,0 +1,131 @@
+#include "sim/audit/audit.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace nurapid {
+
+std::string
+AuditViolation::describe() const
+{
+    std::string where;
+    if (set != kNoIndex)
+        where += strprintf(" set=%u", set);
+    if (way != kNoIndex)
+        where += strprintf(" way=%u", way);
+    if (group != kNoIndex)
+        where += strprintf(" group=%u", group);
+    if (frame != kNoIndex)
+        where += strprintf(" frame=%u", frame);
+    return strprintf("[%s] %s:%s %s", component.c_str(),
+                     invariant.c_str(), where.c_str(), detail.c_str());
+}
+
+void
+CountingAuditSink::violation(const AuditViolation &v)
+{
+    ++total;
+    if (kept.size() < keepFirst)
+        kept.push_back(v);
+}
+
+void
+CountingAuditSink::reset()
+{
+    total = 0;
+    kept.clear();
+}
+
+std::string
+CountingAuditSink::summary() const
+{
+    if (total == 0)
+        return "";
+    return strprintf("%llu violation(s), first: %s",
+                     static_cast<unsigned long long>(total),
+                     kept.empty() ? "(not kept)"
+                                  : kept.front().describe().c_str());
+}
+
+void
+PanicAuditSink::violation(const AuditViolation &v)
+{
+    panic("audit violation: %s", v.describe().c_str());
+}
+
+namespace audit {
+
+AuditConfig
+AuditConfig::fromEnv()
+{
+    AuditConfig cfg;
+    if (const char *s = std::getenv("NURAPID_AUDIT"))
+        cfg.enabled = !(s[0] == '0' && s[1] == '\0');
+    if (const char *s = std::getenv("NURAPID_AUDIT_INTERVAL")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(s, &end, 10);
+        if (*s != '\0' && end && *end == '\0' && v > 0)
+            cfg.interval = v;
+        else
+            warn("ignoring invalid NURAPID_AUDIT_INTERVAL '%s'", s);
+    }
+    return cfg;
+}
+
+namespace {
+
+AuditConfig &
+mutableConfig()
+{
+    static AuditConfig cfg = AuditConfig::fromEnv();
+    return cfg;
+}
+
+AuditSink *&
+sinkPtr()
+{
+    static AuditSink *sink = nullptr;
+    return sink;
+}
+
+} // namespace
+
+const AuditConfig &
+config()
+{
+    return mutableConfig();
+}
+
+void
+setConfig(const AuditConfig &cfg)
+{
+    mutableConfig() = cfg;
+}
+
+bool
+compiledIn()
+{
+#if NURAPID_AUDIT_ENABLED
+    return true;
+#else
+    return false;
+#endif
+}
+
+AuditSink &
+hookSink()
+{
+    static PanicAuditSink panic_sink;
+    AuditSink *sink = sinkPtr();
+    return sink ? *sink : static_cast<AuditSink &>(panic_sink);
+}
+
+void
+setHookSink(AuditSink *sink)
+{
+    sinkPtr() = sink;
+}
+
+} // namespace audit
+} // namespace nurapid

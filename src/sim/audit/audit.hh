@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Invariant-audit layer: machine-checked structural invariants for the
+ * cache organizations.
+ *
+ * NuRAPID's correctness rests on the forward/reverse pointer decoupling
+ * staying coherent under placement, promotion, demotion and eviction
+ * (paper Section 3); a dangling pointer does not crash the simulator —
+ * it silently corrupts hit latencies and energy numbers. The audit
+ * layer makes those invariants explicit:
+ *
+ *  - every component exposes an always-compiled `audit(AuditSink &)`
+ *    method that checks its invariants (forward/reverse pointer
+ *    bijection, d-group frame occupancy vs. free-list counts, set-LRU
+ *    stack integrity, single-port serialization) and reports each
+ *    violation with full (set, way, d-group, frame) context; the
+ *    differential fuzzer and the unit tests call these directly in any
+ *    build;
+ *
+ *  - the cache *hot paths* additionally carry periodic self-audit hook
+ *    points that compile to nothing unless the CMake option
+ *    `-DNURAPID_AUDIT=ON` defines NURAPID_AUDIT_ENABLED, and even then
+ *    run only when the runtime flag (AuditConfig / NURAPID_AUDIT
+ *    environment variable) is on — the default build's hot loop is
+ *    byte-for-byte free of audit work.
+ *
+ * Layering: this header depends only on common/ so that the mem, nuca
+ * and nurapid libraries can include it without an upward link
+ * dependency; the small amount of runtime state lives in the
+ * nurapid_audit library.
+ */
+
+#ifndef NURAPID_SIM_AUDIT_AUDIT_HH
+#define NURAPID_SIM_AUDIT_AUDIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nurapid {
+
+/** One violated invariant, with as much locating context as the
+ *  reporting component has. Fields without a meaningful value for a
+ *  given invariant carry kNoIndex. */
+struct AuditViolation
+{
+    static constexpr std::uint32_t kNoIndex = 0xffffffff;
+
+    std::string component;  //!< e.g. "nurapid.tags", "dnuca"
+    std::string invariant;  //!< short invariant name, e.g. "fwd-rev-bijection"
+    std::string detail;     //!< human-readable description
+    std::uint32_t set = kNoIndex;
+    std::uint32_t way = kNoIndex;
+    std::uint32_t group = kNoIndex;  //!< d-group / bank row
+    std::uint32_t frame = kNoIndex;  //!< data frame / bank way
+
+    std::string describe() const;
+};
+
+/** Receives audit violations; implementations decide whether to count,
+ *  record, print or abort. */
+class AuditSink
+{
+  public:
+    virtual ~AuditSink() = default;
+    virtual void violation(const AuditViolation &v) = 0;
+};
+
+/** Counts violations and keeps the first few for reporting. */
+class CountingAuditSink : public AuditSink
+{
+  public:
+    explicit CountingAuditSink(std::size_t keep = 8) : keepFirst(keep) {}
+
+    void violation(const AuditViolation &v) override;
+
+    std::uint64_t count() const { return total; }
+    bool clean() const { return total == 0; }
+    const std::vector<AuditViolation> &first() const { return kept; }
+    void reset();
+
+    /** One-line summary of the first violation ("" when clean). */
+    std::string summary() const;
+
+  private:
+    std::size_t keepFirst;
+    std::uint64_t total = 0;
+    std::vector<AuditViolation> kept;
+};
+
+/** Sink that panics on the first violation — the default for the
+ *  compiled-in hot-path hooks, so a corrupted pointer is loud at the
+ *  access that corrupted it rather than bench-table-shaped later. */
+class PanicAuditSink : public AuditSink
+{
+  public:
+    [[noreturn]] void violation(const AuditViolation &v) override;
+};
+
+namespace audit {
+
+/**
+ * Runtime configuration of the compiled-in hooks (the "SimConfig"
+ * runtime flag of the audit layer). Read once from the environment:
+ *   NURAPID_AUDIT           0 disables the hooks (default: enabled
+ *                           when compiled in)
+ *   NURAPID_AUDIT_INTERVAL  accesses between periodic full self-audits
+ *                           (default 4096; 1 = audit every access)
+ */
+struct AuditConfig
+{
+    bool enabled = true;
+    std::uint64_t interval = 4096;
+
+    static AuditConfig fromEnv();
+};
+
+/** Process-wide hook configuration (cached fromEnv() on first use). */
+const AuditConfig &config();
+
+/** Overrides the process-wide configuration (tests). */
+void setConfig(const AuditConfig &cfg);
+
+/** True when the hot-path hooks were compiled in (NURAPID_AUDIT=ON). */
+bool compiledIn();
+
+/** Sink used by the hot-path hooks; defaults to a PanicAuditSink. */
+AuditSink &hookSink();
+
+/** Replaces the hook sink (tests / the fuzzer); nullptr restores the
+ *  default panicking sink. Not thread-safe: install before running. */
+void setHookSink(AuditSink *sink);
+
+} // namespace audit
+
+} // namespace nurapid
+
+/**
+ * Hot-path hook: runs @p stmt only in an audit build with the runtime
+ * flag on. The counter is any per-object std::uint64_t, so concurrent
+ * Systems on the run engine's worker threads never share audit state.
+ */
+#if NURAPID_AUDIT_ENABLED
+#define NURAPID_AUDIT_POINT(counter, stmt)                               \
+    do {                                                                 \
+        const auto &cfg_ = ::nurapid::audit::config();                   \
+        if (cfg_.enabled && ++(counter) % cfg_.interval == 0) {          \
+            stmt;                                                        \
+        }                                                                \
+    } while (0)
+#else
+#define NURAPID_AUDIT_POINT(counter, stmt) ((void)0)
+#endif
+
+#endif // NURAPID_SIM_AUDIT_AUDIT_HH

@@ -20,6 +20,8 @@ sharedModel()
     return model;
 }
 
+} // namespace
+
 std::unique_ptr<LowerMemory>
 makeOrganization(const OrgSpec &spec)
 {
@@ -38,8 +40,6 @@ makeOrganization(const OrgSpec &spec)
     }
     panic("unknown organization kind");
 }
-
-} // namespace
 
 namespace {
 

@@ -86,6 +86,11 @@ class System
     double wallSeconds = 0;  //!< set by runAll()
 };
 
+/** Instantiates the lower-memory organization an OrgSpec describes
+ *  against the shared SRAM macro model (also used by the differential
+ *  fuzzing harness to build candidates without a whole System). */
+std::unique_ptr<LowerMemory> makeOrganization(const OrgSpec &spec);
+
 /**
  * Runs one (organization, workload) pair end to end through the
  * process-wide run engine (sim/runner/run_engine.hh): memoized, and

@@ -1,0 +1,158 @@
+#include "testing/differ.hh"
+
+#include <set>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+AccessType
+lowerAccessTypeOf(const TraceRecord &record)
+{
+    if (record.op == TraceOp::Store) {
+        return record.depends_on_prev ? AccessType::Writeback
+                                      : AccessType::Write;
+    }
+    return AccessType::Read;
+}
+
+TraceRecord
+lowerTraceRecord(Addr addr, AccessType type, std::uint16_t gap)
+{
+    TraceRecord r;
+    r.addr = addr;
+    r.inst_gap = gap;
+    switch (type) {
+      case AccessType::Read:
+        r.op = TraceOp::Load;
+        break;
+      case AccessType::Write:
+        r.op = TraceOp::Store;
+        break;
+      case AccessType::Writeback:
+        r.op = TraceOp::Store;
+        r.depends_on_prev = true;
+        break;
+    }
+    return r;
+}
+
+DifferentialTester::DifferentialTester(LowerMemory &candidate,
+                                       const Options &options)
+    : cand(candidate), opts(options)
+{
+}
+
+std::optional<std::string>
+DifferentialTester::step(const TraceRecord &record)
+{
+    const AccessType type = lowerAccessTypeOf(record);
+    const Addr block = blockAlign(record.addr, opts.block_bytes);
+    const bool is_write = type != AccessType::Read;
+
+    const bool expected_hit = ref.contains(block);
+
+    now += 1 + record.inst_gap;
+    const LowerMemory::Result r = cand.access(record.addr, type, now);
+    ++accesses;
+
+    std::optional<std::string> fail;
+    const auto mismatch = [&](std::string msg) {
+        if (!fail) {
+            fail = strprintf("access %llu (%s %#llx): %s",
+                             static_cast<unsigned long long>(accesses - 1),
+                             accessTypeName(type),
+                             static_cast<unsigned long long>(block),
+                             msg.c_str());
+        }
+    };
+
+    if (type != AccessType::Writeback && r.hit != expected_hit) {
+        mismatch(strprintf("candidate says %s, oracle says %s",
+                           r.hit ? "hit" : "miss",
+                           expected_hit ? "hit" : "miss"));
+    }
+    if (type != AccessType::Writeback && r.latency == 0)
+        mismatch("zero latency on a demand access");
+
+    for (std::uint8_t i = 0; i < r.num_evicted; ++i) {
+        const auto &e = r.evicted[i];
+        if (e.addr == block) {
+            mismatch("evicted the block being accessed");
+            continue;
+        }
+        if (blockAlign(e.addr, opts.block_bytes) != e.addr) {
+            mismatch(strprintf("evicted address %#llx not block-aligned",
+                               static_cast<unsigned long long>(e.addr)));
+        }
+        if (!opts.multi_residence && e.dirty != ref.dirty(e.addr)) {
+            mismatch(strprintf("evicted %#llx with dirty=%d, oracle has "
+                               "dirty=%d",
+                               static_cast<unsigned long long>(e.addr),
+                               e.dirty ? 1 : 0,
+                               ref.dirty(e.addr) ? 1 : 0));
+        }
+        if (!ref.evict(e.addr)) {
+            mismatch(strprintf("evicted %#llx which was not resident",
+                               static_cast<unsigned long long>(e.addr)));
+        }
+    }
+
+    ref.allocate(block, is_write);
+
+    if (!fail && accesses % opts.conservation_interval == 0)
+        fail = deepCheck();
+    return fail;
+}
+
+std::optional<std::string>
+DifferentialTester::deepCheck()
+{
+    // Conservation: the candidate's resident set must equal the
+    // oracle's. A std::set both deduplicates the conventional
+    // hierarchy's L2+L3 double-residence and gives deterministic
+    // reporting order.
+    std::set<Addr> in_cand;
+    std::uint64_t reported = 0;
+    cand.forEachResident([&](Addr a, bool) {
+        in_cand.insert(a);
+        ++reported;
+    });
+    if (!opts.multi_residence && reported != in_cand.size()) {
+        return strprintf("after %llu accesses: a block is resident twice "
+                         "(%llu reported, %zu unique)",
+                         static_cast<unsigned long long>(accesses),
+                         static_cast<unsigned long long>(reported),
+                         in_cand.size());
+    }
+    if (in_cand.size() != ref.size()) {
+        return strprintf("after %llu accesses: candidate holds %zu unique "
+                         "blocks, oracle %llu",
+                         static_cast<unsigned long long>(accesses),
+                         in_cand.size(),
+                         static_cast<unsigned long long>(ref.size()));
+    }
+    std::optional<std::string> fail;
+    ref.forEach([&](Addr a, bool) {
+        if (!fail && in_cand.count(a) == 0) {
+            fail = strprintf("after %llu accesses: oracle-resident block "
+                             "%#llx missing from the candidate",
+                             static_cast<unsigned long long>(accesses),
+                             static_cast<unsigned long long>(a));
+        }
+    });
+    if (fail)
+        return fail;
+
+    // Structural invariants.
+    CountingAuditSink sink;
+    if (!cand.audit(sink)) {
+        return strprintf("after %llu accesses: audit failed: %s",
+                         static_cast<unsigned long long>(accesses),
+                         sink.summary().c_str());
+    }
+    return std::nullopt;
+}
+
+} // namespace nurapid

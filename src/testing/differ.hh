@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Differential tester: one cache organization vs. the reference oracle.
+ *
+ * Feeds a shared access stream to a candidate LowerMemory and the flat
+ * fully-associative ReferenceOracle, comparing after every access:
+ *
+ *  - hit/miss decisions (demand accesses; writeback hit semantics vary
+ *    legitimately across organizations and are not compared);
+ *  - evicted-block identity: every departure the candidate reports must
+ *    name a block the oracle believes resident, never the block being
+ *    accessed;
+ *  - evicted-block dirty state (single-residence organizations only —
+ *    the conventional L2+L3 can hold a stale-clean copy after the dirty
+ *    copy's level evicted it, so its departures legitimately disagree);
+ *  - demand latencies are non-zero;
+ *
+ * and, every conservation_interval accesses plus at end-of-trace, a
+ * deep check: the candidate's resident-block set (via forEachResident)
+ * must equal the oracle's exactly, and the candidate's structural
+ * audit() must be clean.
+ */
+
+#ifndef NURAPID_TESTING_DIFFER_HH
+#define NURAPID_TESTING_DIFFER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mem/lower_memory.hh"
+#include "testing/oracle.hh"
+#include "trace/record.hh"
+
+namespace nurapid {
+
+/** Maps a trace record to the access type the lower hierarchy sees.
+ *  Writebacks are encoded as Store records with depends_on_prev set
+ *  (the flag is meaningless for a store, making the encoding lossless
+ *  and the dumped .trace replayable). */
+AccessType lowerAccessTypeOf(const TraceRecord &record);
+
+/** Builds the trace record encoding (@p addr, @p type) per the scheme
+ *  above; @p gap spaces accesses apart in time. */
+TraceRecord lowerTraceRecord(Addr addr, AccessType type,
+                             std::uint16_t gap);
+
+class DifferentialTester
+{
+  public:
+    struct Options
+    {
+        std::uint32_t block_bytes = 128;
+        /** Conventional L2+L3: a block may be resident twice and its
+         *  dirty state is not comparable (see file comment). */
+        bool multi_residence = false;
+        /** Accesses between deep (conservation + audit) checks. */
+        std::uint64_t conservation_interval = 256;
+    };
+
+    DifferentialTester(LowerMemory &candidate, const Options &options);
+
+    /**
+     * Plays one record into candidate and oracle. Returns a mismatch
+     * description, or std::nullopt if the access checked out. The
+     * periodic deep check runs inside step(); callers replaying a whole
+     * trace should finish with a final deepCheck().
+     */
+    std::optional<std::string> step(const TraceRecord &record);
+
+    /** Conservation + audit check, on demand. */
+    std::optional<std::string> deepCheck();
+
+    std::uint64_t steps() const { return accesses; }
+    const ReferenceOracle &oracle() const { return ref; }
+
+  private:
+    LowerMemory &cand;
+    Options opts;
+    ReferenceOracle ref;
+    Cycle now = 0;
+    std::uint64_t accesses = 0;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_TESTING_DIFFER_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Seeded trace fuzzer driving cache organizations against the
+ * reference oracle.
+ *
+ * The generator produces a deterministic (PCG32-seeded) access stream
+ * shaped to stress cache mechanics rather than wander a 64-bit address
+ * space: most references draw from a hot pool about twice the
+ * candidate's capacity (forcing evictions, promotions and demotion
+ * cascades), a slice revisits the previous few blocks (forcing
+ * back-to-back port conflicts and promotion swaps on the same set),
+ * and a trickle of cold blocks keeps allocations flowing. Stores and
+ * L1-writeback records are mixed in at configurable rates.
+ *
+ * On a mismatch the fuzzer re-runs the prefix through fresh candidates
+ * to minimize the failing trace (greedy chunk removal, ddmin-style),
+ * then dumps it as a standard .trace file (trace/trace_file.hh) that
+ * `nurapid_fuzz --replay` re-executes exactly.
+ */
+
+#ifndef NURAPID_TESTING_FUZZER_HH
+#define NURAPID_TESTING_FUZZER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "testing/differ.hh"
+#include "trace/record.hh"
+
+namespace nurapid {
+
+struct FuzzConfig
+{
+    std::uint64_t seed = 1;
+    std::uint64_t iterations = 10000;
+    /** Hot-pool size in blocks; 0 = 2x the candidate capacity. */
+    std::uint64_t hot_blocks = 0;
+    unsigned store_pct = 25;      //!< % of references that are stores
+    unsigned writeback_pct = 10;  //!< % that are L1 writebacks
+    unsigned revisit_pct = 20;    //!< % that re-reference a recent block
+    unsigned cold_pct = 5;        //!< % that touch a never-seen block
+    std::uint64_t conservation_interval = 256;
+};
+
+struct FuzzResult
+{
+    bool passed = true;
+    std::string message;             //!< first mismatch (empty if clean)
+    std::uint64_t failing_step = 0;  //!< index into the generated trace
+    std::vector<TraceRecord> minimized;  //!< empty when passed
+    std::string dump_path;           //!< written .trace (when dumping)
+};
+
+/** One candidate the fuzz matrix covers. */
+struct FuzzTarget
+{
+    std::string name;   //!< e.g. "nurapid-fastest-lru-r4"
+    OrgSpec spec;
+    DifferentialTester::Options differ;
+};
+
+/**
+ * The fuzz matrix: small-geometry versions of every organization —
+ * conventional L2+L3, S-NUCA, D-NUCA (all three search modes), the
+ * coupled set-associative NUCA (all promotion policies), and NuRAPID
+ * over promotion x distance-replacement x frame-restriction combos.
+ * Small geometries keep thousands of iterations fast while leaving
+ * every structural mechanism (demotion cascades, restriction
+ * evictions, bubble swaps) reachable.
+ */
+std::vector<FuzzTarget> fuzzTargetMatrix();
+
+class TraceFuzzer
+{
+  public:
+    TraceFuzzer(const FuzzTarget &target, const FuzzConfig &config);
+
+    /** Generates the trace, differs it, minimizes on failure. When
+     *  @p dump_dir is non-empty a failing trace is written there. */
+    FuzzResult run(const std::string &dump_dir = "");
+
+    /** Replays @p trace against a fresh candidate; first mismatch. */
+    static std::optional<std::string>
+    replay(const FuzzTarget &target, const std::vector<TraceRecord> &trace,
+           std::uint64_t conservation_interval = 256);
+
+    /** Generates the deterministic trace for (target, config). */
+    static std::vector<TraceRecord>
+    generate(const FuzzTarget &target, const FuzzConfig &config);
+
+  private:
+    FuzzTarget tgt;
+    FuzzConfig cfg;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_TESTING_FUZZER_HH

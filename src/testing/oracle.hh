@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The flat fully-associative reference oracle for differential testing.
+ *
+ * Every cache organization in this library is, behaviorally, a set of
+ * resident blocks: an access hits iff its block is resident, an access
+ * makes its block resident, and the only way a block leaves is by being
+ * reported in LowerMemory::Result::evicted. The oracle holds that set
+ * with no capacity limit, no geometry, and no replacement policy of its
+ * own — it *mirrors* residency from the candidate's reported departures
+ * rather than predicting them, so it is oblivious to which victim an
+ * organization picks while still pinning down every hit/miss decision
+ * and the identity of every departed block.
+ */
+
+#ifndef NURAPID_TESTING_ORACLE_HH
+#define NURAPID_TESTING_ORACLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace nurapid {
+
+class ReferenceOracle
+{
+  public:
+    /** True iff @p block (block-aligned) is resident. */
+    bool contains(Addr block) const { return resident.count(block) != 0; }
+
+    /** Logical dirty state of a resident block. */
+    bool dirty(Addr block) const
+    {
+        const auto it = resident.find(block);
+        return it != resident.end() && it->second;
+    }
+
+    /** Records that the candidate made @p block resident (every access
+     *  allocates in this model, writebacks included). */
+    void allocate(Addr block, bool is_write)
+    {
+        auto [it, inserted] = resident.try_emplace(block, is_write);
+        if (!inserted)
+            it->second = it->second || is_write;
+    }
+
+    /** Records a departure; returns false if @p block was not resident
+     *  (a phantom eviction — the caller reports the mismatch). */
+    bool evict(Addr block) { return resident.erase(block) != 0; }
+
+    std::uint64_t size() const { return resident.size(); }
+
+    void forEach(const std::function<void(Addr, bool)> &fn) const
+    {
+        for (const auto &[addr, d] : resident)
+            fn(addr, d);
+    }
+
+  private:
+    std::unordered_map<Addr, bool> resident;  //!< block addr -> dirty
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_TESTING_ORACLE_HH

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the differential-fuzzing harness itself: the reference
+ * oracle's bookkeeping, the writeback trace encoding, the differential
+ * tester's power to catch each class of candidate lie (planted in a
+ * deliberately-buggy toy cache), the fuzz matrix, trace-generation
+ * determinism, and the failure path end to end — minimization, .trace
+ * dumping, and exact replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "testing/fuzzer.hh"
+#include "trace/trace_file.hh"
+
+namespace nurapid {
+namespace {
+
+constexpr std::uint32_t kBlock = 128;
+
+TEST(ReferenceOracle, TracksResidencyAndDirtyState)
+{
+    ReferenceOracle ref;
+    EXPECT_FALSE(ref.contains(0x1000));
+    EXPECT_EQ(ref.size(), 0u);
+
+    ref.allocate(0x1000, /*is_write=*/false);
+    EXPECT_TRUE(ref.contains(0x1000));
+    EXPECT_FALSE(ref.dirty(0x1000));
+
+    // A write upgrades to dirty; a later read does not downgrade.
+    ref.allocate(0x1000, true);
+    EXPECT_TRUE(ref.dirty(0x1000));
+    ref.allocate(0x1000, false);
+    EXPECT_TRUE(ref.dirty(0x1000));
+    EXPECT_EQ(ref.size(), 1u);
+
+    EXPECT_TRUE(ref.evict(0x1000));
+    EXPECT_FALSE(ref.contains(0x1000));
+    EXPECT_FALSE(ref.evict(0x1000)) << "phantom eviction not flagged";
+}
+
+TEST(TraceEncoding, WritebacksRoundTripLosslessly)
+{
+    for (const AccessType type :
+         {AccessType::Read, AccessType::Write, AccessType::Writeback}) {
+        const TraceRecord r = lowerTraceRecord(0x1240, type, 3);
+        EXPECT_EQ(lowerAccessTypeOf(r), type);
+        EXPECT_EQ(r.addr, 0x1240u);
+        EXPECT_EQ(r.inst_gap, 3u);
+    }
+}
+
+/**
+ * A toy fully-associative LRU cache with selectable planted bugs —
+ * each bug is a distinct way a candidate can lie to the tester, and
+ * each must be caught.
+ */
+class ToyCache : public LowerMemory
+{
+  public:
+    enum class Bug
+    {
+        None,
+        LieHit,          //!< claims a miss was a hit
+        ForgetEviction,  //!< evicts without reporting the departure
+        PhantomEviction, //!< reports a departure that never happened
+        EvictAccessed,   //!< reports the accessed block as the victim
+        WrongDirty,      //!< reports the victim with flipped dirty bit
+        CorruptState,    //!< audit() reports a violation
+    };
+
+    ToyCache(std::size_t capacity_blocks, Bug planted)
+        : cap(capacity_blocks), bug(planted), stats_("toy")
+    {
+    }
+
+    Result
+    access(Addr addr, AccessType type, Cycle) override
+    {
+        const Addr block = blockAlign(addr, kBlock);
+        const bool is_write = type != AccessType::Read;
+        Result r;
+        r.latency = 10;
+
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (it->first == block) {
+                it->second = it->second || is_write;
+                lru.splice(lru.begin(), lru, it);
+                r.hit = true;
+                return r;
+            }
+        }
+
+        r.hit = bug == Bug::LieHit;
+        if (lru.size() == cap) {
+            const auto [victim, dirty] = lru.back();
+            lru.pop_back();
+            switch (bug) {
+              case Bug::ForgetEviction:
+                break;
+              case Bug::EvictAccessed:
+                r.noteEvicted(block, dirty);
+                break;
+              case Bug::WrongDirty:
+                r.noteEvicted(victim, !dirty);
+                break;
+              default:
+                r.noteEvicted(victim, dirty);
+            }
+        }
+        if (bug == Bug::PhantomEviction)
+            r.noteEvicted(Addr{1} << 40, false);
+        lru.emplace_front(block, is_write);
+        return r;
+    }
+
+    EnergyNJ dynamicEnergyNJ() const override { return 0; }
+    EnergyNJ cacheEnergyNJ() const override { return 0; }
+    const std::string &name() const override { return name_; }
+    StatGroup &stats() override { return stats_; }
+    const StatGroup &stats() const override { return stats_; }
+    const Histogram &regionHits() const override { return hist_; }
+    void resetStats() override {}
+
+    void
+    forEachResident(const ResidentFn &fn) const override
+    {
+        for (const auto &[block, dirty] : lru)
+            fn(block, dirty);
+    }
+
+    bool
+    audit(AuditSink &sink) const override
+    {
+        if (bug != Bug::CorruptState)
+            return true;
+        AuditViolation v;
+        v.component = "toy";
+        v.invariant = "planted";
+        sink.violation(v);
+        return false;
+    }
+
+  private:
+    std::size_t cap;
+    Bug bug;
+    std::list<std::pair<Addr, bool>> lru;  //!< front = MRU
+    std::string name_ = "toy";
+    StatGroup stats_;
+    Histogram hist_{1};
+};
+
+/** Drives enough round-robin + rewrite traffic to trip any bug. */
+std::optional<std::string>
+driveToy(ToyCache::Bug bug)
+{
+    ToyCache toy(/*capacity_blocks=*/8, bug);
+    DifferentialTester::Options opts;
+    opts.block_bytes = kBlock;
+    opts.conservation_interval = 16;
+    DifferentialTester differ(toy, opts);
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        const Addr addr = (i % 12) * kBlock;
+        const AccessType type =
+            i % 3 == 0 ? AccessType::Write : AccessType::Read;
+        if (auto fail = differ.step(lowerTraceRecord(addr, type, 1)))
+            return fail;
+    }
+    return differ.deepCheck();
+}
+
+TEST(DifferentialTester, HonestCandidatePasses)
+{
+    const auto fail = driveToy(ToyCache::Bug::None);
+    EXPECT_FALSE(fail.has_value()) << *fail;
+}
+
+TEST(DifferentialTester, CatchesEveryPlantedBug)
+{
+    const std::pair<ToyCache::Bug, const char *> bugs[] = {
+        {ToyCache::Bug::LieHit, "candidate says hit"},
+        // A forgotten eviction surfaces as soon as the departed block
+        // is re-referenced: the oracle still believes it resident.
+        {ToyCache::Bug::ForgetEviction, "oracle says hit"},
+        {ToyCache::Bug::PhantomEviction, "not resident"},
+        {ToyCache::Bug::EvictAccessed, "block being accessed"},
+        {ToyCache::Bug::WrongDirty, "dirty"},
+        {ToyCache::Bug::CorruptState, "audit failed"},
+    };
+    for (const auto &[bug, needle] : bugs) {
+        const auto fail = driveToy(bug);
+        ASSERT_TRUE(fail.has_value())
+            << "bug " << static_cast<int>(bug) << " escaped";
+        EXPECT_NE(fail->find(needle), std::string::npos)
+            << "bug " << static_cast<int>(bug)
+            << " caught with the wrong message: " << *fail;
+    }
+}
+
+TEST(DifferentialTester, ConservationCatchesSilentShrink)
+{
+    // With a never-revisiting trace the hit/miss comparison can't see
+    // a forgotten eviction — only the periodic conservation check can.
+    ToyCache toy(/*capacity_blocks=*/8, ToyCache::Bug::ForgetEviction);
+    DifferentialTester::Options opts;
+    opts.block_bytes = kBlock;
+    opts.conservation_interval = 16;
+    DifferentialTester differ(toy, opts);
+    std::optional<std::string> fail;
+    for (Addr i = 0; i < 64 && !fail; ++i)
+        fail = differ.step(lowerTraceRecord(i * kBlock,
+                                            AccessType::Read, 1));
+    ASSERT_TRUE(fail.has_value());
+    EXPECT_NE(fail->find("unique blocks"), std::string::npos) << *fail;
+}
+
+TEST(FuzzMatrix, CoversEveryOrganizationWithUniqueNames)
+{
+    const auto matrix = fuzzTargetMatrix();
+    EXPECT_EQ(matrix.size(), 26u);
+    std::vector<std::string> names;
+    bool base = false, snuca = false, dnuca = false, coupled = false,
+         nurapid = false, restricted = false;
+    for (const FuzzTarget &t : matrix) {
+        for (const std::string &n : names)
+            EXPECT_NE(n, t.name);
+        names.push_back(t.name);
+        switch (t.spec.kind) {
+          case OrgKind::BaseL2L3:
+            base = true;
+            EXPECT_TRUE(t.differ.multi_residence);
+            break;
+          case OrgKind::SNuca: snuca = true; break;
+          case OrgKind::DNuca: dnuca = true; break;
+          case OrgKind::CoupledSA: coupled = true; break;
+          case OrgKind::NuRapid:
+            nurapid = true;
+            restricted |= t.spec.nurapid.frame_restriction != 0;
+            EXPECT_FALSE(t.differ.multi_residence);
+            break;
+        }
+    }
+    EXPECT_TRUE(base && snuca && dnuca && coupled && nurapid &&
+                restricted);
+}
+
+TEST(TraceFuzzer, GenerationIsSeedDeterministic)
+{
+    const auto matrix = fuzzTargetMatrix();
+    FuzzConfig cfg;
+    cfg.iterations = 500;
+    cfg.seed = 7;
+    const auto a = TraceFuzzer::generate(matrix[0], cfg);
+    const auto b = TraceFuzzer::generate(matrix[0], cfg);
+    ASSERT_EQ(a.size(), cfg.iterations);
+    ASSERT_EQ(b.size(), a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].addr, b[i].addr);
+        EXPECT_EQ(a[i].op, b[i].op);
+        EXPECT_EQ(a[i].depends_on_prev, b[i].depends_on_prev);
+        EXPECT_EQ(a[i].inst_gap, b[i].inst_gap);
+    }
+
+    cfg.seed = 8;
+    const auto c = TraceFuzzer::generate(matrix[0], cfg);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size() && !differs; ++i)
+        differs = a[i].addr != c[i].addr;
+    EXPECT_TRUE(differs) << "different seeds produced identical traces";
+}
+
+TEST(TraceFuzzer, RealOrganizationsPassAShortRun)
+{
+    FuzzConfig cfg;
+    cfg.iterations = 1500;
+    cfg.seed = 3;
+    for (const FuzzTarget &t : fuzzTargetMatrix()) {
+        if (t.name != "nurapid-next-fastest-lru" && t.name != "snuca")
+            continue;
+        TraceFuzzer fuzzer(t, cfg);
+        const FuzzResult result = fuzzer.run("");
+        EXPECT_TRUE(result.passed) << t.name << ": " << result.message;
+    }
+}
+
+TEST(TraceFuzzer, FailureIsMinimizedDumpedAndReplayable)
+{
+    // Mis-specify the conventional target as single-residence: its
+    // legitimate L2+L3 double residence now *is* a mismatch, giving a
+    // real, deterministic failure for the whole failure pipeline.
+    const auto matrix = fuzzTargetMatrix();
+    FuzzTarget bad = matrix[0];
+    ASSERT_EQ(bad.spec.kind, OrgKind::BaseL2L3);
+    bad.differ.multi_residence = false;
+
+    FuzzConfig cfg;
+    cfg.iterations = 3000;
+    cfg.seed = 9;
+    cfg.conservation_interval = 64;
+    TraceFuzzer fuzzer(bad, cfg);
+    const FuzzResult result = fuzzer.run(".");
+
+    ASSERT_FALSE(result.passed);
+    EXPECT_FALSE(result.message.empty());
+    ASSERT_FALSE(result.minimized.empty());
+    EXPECT_LT(result.minimized.size(),
+              static_cast<std::size_t>(result.failing_step + 1))
+        << "minimization removed nothing";
+
+    // The minimized trace still fails the mis-specified target and
+    // passes the correctly-specified one.
+    EXPECT_TRUE(TraceFuzzer::replay(bad, result.minimized,
+                                    cfg.conservation_interval)
+                    .has_value());
+    EXPECT_FALSE(TraceFuzzer::replay(matrix[0], result.minimized,
+                                     cfg.conservation_interval)
+                     .has_value());
+
+    // The dump is a faithful .trace copy of the minimized records.
+    ASSERT_FALSE(result.dump_path.empty());
+    {
+        FileTraceSource source(result.dump_path);
+        std::vector<TraceRecord> loaded;
+        TraceRecord rec;
+        while (source.next(rec))
+            loaded.push_back(rec);
+        ASSERT_EQ(loaded.size(), result.minimized.size());
+        for (std::size_t i = 0; i < loaded.size(); ++i) {
+            EXPECT_EQ(loaded[i].addr, result.minimized[i].addr);
+            EXPECT_EQ(loaded[i].op, result.minimized[i].op);
+            EXPECT_EQ(loaded[i].depends_on_prev,
+                      result.minimized[i].depends_on_prev);
+        }
+        if (auto fail = TraceFuzzer::replay(bad, loaded,
+                                            cfg.conservation_interval)) {
+            EXPECT_FALSE(fail->empty());
+        } else {
+            ADD_FAILURE() << "dumped trace replayed clean";
+        }
+    }
+    std::remove(result.dump_path.c_str());
+}
+
+} // namespace
+} // namespace nurapid

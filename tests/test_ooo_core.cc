@@ -43,7 +43,10 @@ class FixedLower : public LowerMemory
     {
         if (type != AccessType::Writeback)
             ++count;
-        return {type == AccessType::Writeback ? Cycles{0} : lat_, true};
+        Result r;
+        r.latency = type == AccessType::Writeback ? Cycles{0} : lat_;
+        r.hit = true;
+        return r;
     }
 
     EnergyNJ dynamicEnergyNJ() const override { return 0; }
@@ -53,6 +56,8 @@ class FixedLower : public LowerMemory
     const StatGroup &stats() const override { return stats_; }
     const Histogram &regionHits() const override { return hist_; }
     void resetStats() override {}
+    void forEachResident(const ResidentFn &) const override {}
+    bool audit(AuditSink &) const override { return true; }
 
     std::uint64_t count = 0;
 

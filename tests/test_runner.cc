@@ -206,6 +206,81 @@ TEST(RunCache, MetricsJsonRoundTripIsExact)
     EXPECT_EQ(out.wall_seconds, m.wall_seconds);
 }
 
+TEST(RunCache, DigestCollisionDegradesToMiss)
+{
+    // The stored full key guards against digest collisions: a lookup
+    // whose key disagrees with the stored one must miss, never return
+    // the colliding entry's metrics.
+    RunMetrics m;
+    m.workload = "applu";
+    m.ipc = 1.25;
+
+    RunCache cache;
+    cache.store(RunKey{"key-A", "00000000deadbeef"}, m);
+
+    RunMetrics out;
+    EXPECT_TRUE(cache.lookup(RunKey{"key-A", "00000000deadbeef"}, out));
+    EXPECT_EQ(out.ipc, m.ipc);
+    EXPECT_FALSE(cache.lookup(RunKey{"key-B", "00000000deadbeef"}, out))
+        << "colliding digest returned the wrong run's metrics";
+}
+
+TEST(RunCache, TamperedPersistedKeyDegradesToMiss)
+{
+    // A cache file whose stored key was corrupted (bit rot, manual
+    // editing) must degrade to a miss for the real fingerprint.
+    const std::string path = "test_runner_tampered.json";
+    std::remove(path.c_str());
+
+    const auto key = fingerprintRun(OrgSpec::baseline(),
+                                    findProfile("applu"), tinyLength());
+    RunMetrics m;
+    m.workload = "applu";
+    m.ipc = 0.5;
+    {
+        RunCache cache;
+        cache.store(key, m);
+        ASSERT_TRUE(cache.saveFile(path));
+    }
+
+    // Rewrite the file with the entry's key field replaced.
+    Json root;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::string text;
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+        root = Json::parse(text);
+    }
+    ASSERT_TRUE(root.isObject());
+    Json entries = Json::object();
+    for (const auto &kv : root.get("entries").members()) {
+        Json e = Json::object();
+        e.set("key", Json(std::string("tampered")));
+        e.set("metrics", kv.second.get("metrics"));
+        entries.set(kv.first, std::move(e));
+    }
+    root.set("entries", std::move(entries));
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        const std::string text = root.dump();
+        std::fputs(text.c_str(), f);
+        std::fclose(f);
+    }
+
+    RunCache reloaded;
+    EXPECT_EQ(reloaded.loadFile(path), 1u);
+    RunMetrics out;
+    EXPECT_FALSE(reloaded.lookup(key, out))
+        << "tampered entry served as a hit";
+    std::remove(path.c_str());
+}
+
 TEST(RunCache, CorruptFileIsIgnored)
 {
     const std::string path = "test_runner_corrupt.json";
