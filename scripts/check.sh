@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Full correctness gate: builds the simulator under three compiler
+# Full correctness gate: builds the simulator under four compiler
 # configurations and runs the tier-1 unit suite plus a 10k-iteration
 # differential-fuzz smoke (audit hooks compiled in and forced on) under
 # each:
@@ -7,9 +7,13 @@
 #   release  RelWithDebInfo, audit hooks compiled in
 #   asan     AddressSanitizer + UndefinedBehaviorSanitizer
 #   tsan     ThreadSanitizer (checks the parallel run engine)
+#   profile  RelWithDebInfo + -DNURAPID_PROFILE=ON (cycle-budget
+#            profiler compiled into the hot paths), plus a perf-smoke
+#            stage: a short cold sweep that must print the profiler
+#            footer and finish with a populated run cache
 #
 # Usage:
-#   scripts/check.sh [--fuzz-iters N] [--configs "release asan tsan"]
+#   scripts/check.sh [--fuzz-iters N] [--configs "release asan tsan profile"]
 #
 # Build trees live in build-check-<config>/ so the default build/ tree
 # is never disturbed. Exits non-zero on the first failure.
@@ -17,7 +21,7 @@
 set -eu
 
 fuzz_iters=10000
-configs="release asan tsan"
+configs="release asan tsan profile"
 while [ $# -gt 0 ]; do
     case "$1" in
       --fuzz-iters)
@@ -25,7 +29,7 @@ while [ $# -gt 0 ]; do
       --configs)
         configs="$2"; shift 2 ;;
       -h|--help)
-        sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
       *)
         echo "unknown option '$1' (see --help)" >&2; exit 2 ;;
     esac
@@ -39,6 +43,7 @@ for config in $configs; do
       release) flags="-DCMAKE_BUILD_TYPE=RelWithDebInfo" ;;
       asan)    flags="-DNURAPID_SANITIZE=address,undefined" ;;
       tsan)    flags="-DNURAPID_SANITIZE=thread" ;;
+      profile) flags="-DCMAKE_BUILD_TYPE=RelWithDebInfo -DNURAPID_PROFILE=ON" ;;
       *)
         echo "unknown config '$config'" >&2; exit 2 ;;
     esac
@@ -58,6 +63,24 @@ for config in $configs; do
     NURAPID_AUDIT=1 NURAPID_AUDIT_INTERVAL=512 \
         "$dir/src/tools/nurapid_fuzz" --iters "$fuzz_iters" \
         --dump-dir "$dir"
+
+    if [ "$config" = "profile" ]; then
+        echo "=== [$config] perf smoke (short cold sweep, profiler on) ==="
+        smoke_cache="$dir/perf_smoke_cache.json"
+        rm -f "$smoke_cache"
+        smoke_log="$dir/perf_smoke.log"
+        NURAPID_SIM_SCALE=0.05 NURAPID_RUN_CACHE="$smoke_cache" \
+            sh scripts/regen_bench.sh "$dir" --quiet 2>&1 \
+            | tee "$smoke_log" | tail -n 2
+        grep -q '^\[profile\]' "$smoke_log" || {
+            echo "perf smoke: no [profile] footer in sweep output" >&2
+            exit 1
+        }
+        [ -s "$smoke_cache" ] || {
+            echo "perf smoke: sweep left no run cache" >&2
+            exit 1
+        }
+    fi
 done
 
 end=$(date +%s)

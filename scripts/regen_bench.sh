@@ -8,9 +8,19 @@
 #   scripts/regen_bench.sh [BUILD_DIR] [--jobs N] [--no-cache] [--quiet]
 #
 # Environment (forwarded to the binaries' run engine):
-#   NURAPID_JOBS       worker threads per binary (default: all cores)
-#   NURAPID_RUN_CACHE  cache file (default: BUILD_DIR/bench_run_cache.json)
-#   NURAPID_SIM_SCALE  simulation length scale
+#   NURAPID_JOBS             worker threads per binary (default: all cores)
+#   NURAPID_RUN_CACHE        cache file (default: BUILD_DIR/bench_run_cache.json)
+#   NURAPID_SIM_SCALE        simulation length scale
+#   NURAPID_TRACE_CACHE_DIR  packed-trace disk cache shared by the 17
+#                            binaries (default: BUILD_DIR/trace_cache) —
+#                            each workload stream is generated once per
+#                            sweep, not once per binary
+#
+# Besides the per-table stdout, the sweep writes BUILD_DIR/BENCH_sweep.json
+# with machine-readable timings: per-binary and total wall milliseconds,
+# whether the sweep started cold (no pre-existing cache file), and the
+# unique-configuration count in the resulting run cache. Timings use
+# `date +%s%N` (this container has no /usr/bin/time or bc).
 #
 # The CMake target `regen-bench` invokes this script with BUILD_DIR set.
 
@@ -28,7 +38,7 @@ while [ $# -gt 0 ]; do
       --quiet)
         quiet=1; shift ;;
       -h|--help)
-        sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
       *)
         build_dir="$1"; shift ;;
     esac
@@ -40,12 +50,18 @@ if [ ! -d "$build_dir/bench" ]; then
     exit 1
 fi
 
+cold=true
 if [ "${no_cache:-0}" -eq 0 ]; then
     NURAPID_RUN_CACHE="${NURAPID_RUN_CACHE:-$build_dir/bench_run_cache.json}"
     export NURAPID_RUN_CACHE
     echo "run cache: $NURAPID_RUN_CACHE"
+    [ -s "$NURAPID_RUN_CACHE" ] && cold=false
 fi
 echo "jobs per binary: ${NURAPID_JOBS:-auto}"
+
+NURAPID_TRACE_CACHE_DIR="${NURAPID_TRACE_CACHE_DIR:-$build_dir/trace_cache}"
+export NURAPID_TRACE_CACHE_DIR
+mkdir -p "$NURAPID_TRACE_CACHE_DIR"
 
 benches="bench_table1_config bench_table2_energies bench_table3_workloads \
 bench_table4_latencies bench_fig4_placement bench_fig5_policies \
@@ -54,14 +70,45 @@ bench_fig8_dgroup_perf bench_fig9_dnuca_perf bench_fig10_energy \
 bench_fig11_energy_delay bench_ablation_pointers bench_ablation_port \
 bench_ablation_seq_tag bench_ablation_snuca"
 
-start=$(date +%s)
+sweep_json="$build_dir/BENCH_sweep.json"
+binaries_json=""
+
+start_ns=$(date +%s%N)
 for b in $benches; do
     echo "=== $b ==="
+    b_start_ns=$(date +%s%N)
     if [ "$quiet" -eq 1 ]; then
         "$build_dir/bench/$b" | tail -n 2
     else
         "$build_dir/bench/$b"
     fi
+    b_end_ns=$(date +%s%N)
+    b_ms=$(( (b_end_ns - b_start_ns) / 1000000 ))
+    [ -n "$binaries_json" ] && binaries_json="$binaries_json,"
+    binaries_json="$binaries_json
+    {\"name\": \"$b\", \"wall_ms\": $b_ms}"
 done
-end=$(date +%s)
-echo "regen-bench: full sweep in $((end - start)) s"
+end_ns=$(date +%s%N)
+total_ms=$(( (end_ns - start_ns) / 1000000 ))
+
+# Unique simulated configurations = "key" entries in the run cache.
+unique_configs=0
+if [ "${no_cache:-0}" -eq 0 ] && [ -s "$NURAPID_RUN_CACHE" ]; then
+    unique_configs=$(grep -o '"key"' "$NURAPID_RUN_CACHE" | wc -l)
+fi
+
+cat > "$sweep_json" <<EOF
+{
+  "schema": 1,
+  "cold": $cold,
+  "jobs": "${NURAPID_JOBS:-auto}",
+  "sim_scale": "${NURAPID_SIM_SCALE:-1}",
+  "unique_configs": $unique_configs,
+  "total_wall_ms": $total_ms,
+  "binaries": [$binaries_json
+  ]
+}
+EOF
+
+echo "regen-bench: full sweep in $((total_ms / 1000)) s ($total_ms ms," \
+     "$unique_configs unique configs; timings in $sweep_json)"

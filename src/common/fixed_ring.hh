@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fixed-capacity FIFO ring buffer for structurally-bounded hardware
+ * queues (RUU-bounded pending loads, LSQ-bounded pending stores).
+ *
+ * Unlike std::deque, the storage is one flat allocation sized once at
+ * construction: no per-segment allocation on the simulation hot path,
+ * and exceeding the declared structural bound is a modeling bug that
+ * panics instead of silently growing.
+ */
+
+#ifndef NURAPID_COMMON_FIXED_RING_HH
+#define NURAPID_COMMON_FIXED_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nurapid {
+
+template <class T>
+class FixedRing
+{
+  public:
+    FixedRing() = default;
+
+    /** Sizes the ring for at most @p capacity live elements. */
+    explicit FixedRing(std::uint32_t capacity) { init(capacity); }
+
+    void
+    init(std::uint32_t capacity)
+    {
+        fatal_if(capacity == 0, "FixedRing with zero capacity");
+        cap = capacity;
+        std::uint32_t storage = 1;
+        while (storage < capacity)
+            storage <<= 1;
+        mask = storage - 1;
+        buf.assign(storage, T{});
+        head = tail = 0;
+    }
+
+    bool empty() const { return head == tail; }
+    std::uint32_t size() const { return tail - head; }
+    std::uint32_t capacity() const { return cap; }
+
+    const T &front() const { return buf[head & mask]; }
+    T &front() { return buf[head & mask]; }
+
+    void pop_front() { ++head; }
+
+    void
+    push_back(const T &v)
+    {
+        panic_if(size() >= cap,
+                 "FixedRing overflow: %u elements exceed the declared "
+                 "structural bound of %u", size() + 1, cap);
+        buf[tail & mask] = v;
+        ++tail;
+    }
+
+    void clear() { head = tail = 0; }
+
+  private:
+    std::vector<T> buf;
+    std::uint32_t cap = 0;
+    std::uint32_t mask = 0;
+    // Free-running indices; size() relies on unsigned wraparound.
+    std::uint32_t head = 0;
+    std::uint32_t tail = 0;
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_COMMON_FIXED_RING_HH

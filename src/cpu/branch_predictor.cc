@@ -9,7 +9,7 @@ BranchPredictor::BranchPredictor(std::uint32_t entries,
                                  std::uint32_t history_bits)
     : mask(entries - 1),
       historyMask((std::uint32_t{1} << history_bits) - 1),
-      gshare(entries, 1), bimodal(entries, 1), chooser(entries, 2),
+      gshare(entries, 1), bimodal(entries, BimodalEntry{1, 2}),
       statGroup("bpred")
 {
     fatal_if(!isPowerOf2(entries), "predictor entries %u not pow2",
@@ -18,56 +18,12 @@ BranchPredictor::BranchPredictor(std::uint32_t entries,
     statGroup.addCounter("mispredicts", statMispredicts);
 }
 
-std::uint8_t
-BranchPredictor::bump(std::uint8_t c, bool taken)
-{
-    if (taken)
-        return c < 3 ? c + 1 : 3;
-    return c > 0 ? c - 1 : 0;
-}
-
-std::uint32_t
-BranchPredictor::gshareIndex(std::uint32_t pc) const
-{
-    return ((pc >> 2) ^ history) & mask;
-}
-
-std::uint32_t
-BranchPredictor::bimodalIndex(std::uint32_t pc) const
-{
-    return (pc >> 2) & mask;
-}
-
 bool
 BranchPredictor::predict(std::uint32_t pc) const
 {
-    const bool use_gshare = chooser[bimodalIndex(pc)] >= 2;
-    return use_gshare ? counterTaken(gshare[gshareIndex(pc)])
-                      : counterTaken(bimodal[bimodalIndex(pc)]);
-}
-
-bool
-BranchPredictor::predictAndUpdate(std::uint32_t pc, bool taken)
-{
-    const std::uint32_t gi = gshareIndex(pc);
-    const std::uint32_t bi = bimodalIndex(pc);
-    const bool g_pred = counterTaken(gshare[gi]);
-    const bool b_pred = counterTaken(bimodal[bi]);
-    const bool use_gshare = chooser[bi] >= 2;
-    const bool pred = use_gshare ? g_pred : b_pred;
-
-    ++statPredictions;
-    if (pred != taken)
-        ++statMispredicts;
-
-    // Train the components, then the chooser (only when they disagree).
-    gshare[gi] = bump(gshare[gi], taken);
-    bimodal[bi] = bump(bimodal[bi], taken);
-    if (g_pred != b_pred)
-        chooser[bi] = bump(chooser[bi], g_pred == taken);
-
-    history = ((history << 1) | (taken ? 1u : 0u)) & historyMask;
-    return pred == taken;
+    const BimodalEntry &bc = bimodal[bimodalIndex(pc)];
+    return bc.chooser >= 2 ? counterTaken(gshare[gshareIndex(pc)])
+                           : counterTaken(bc.counter);
 }
 
 double

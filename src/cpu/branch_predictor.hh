@@ -27,8 +27,34 @@ class BranchPredictor
     /**
      * Trains on the resolved outcome and updates the global history.
      * Returns true iff the prediction made beforehand was correct.
+     * Defined inline: this is called once per branch record from the
+     * per-reference simulation loop.
      */
-    bool predictAndUpdate(std::uint32_t pc, bool taken);
+    bool
+    predictAndUpdate(std::uint32_t pc, bool taken)
+    {
+        const std::uint32_t gi = gshareIndex(pc);
+        const std::uint32_t bi = bimodalIndex(pc);
+        BimodalEntry &bc = bimodal[bi];
+        const bool g_pred = counterTaken(gshare[gi]);
+        const bool b_pred = counterTaken(bc.counter);
+        const bool use_gshare = bc.chooser >= 2;
+        const bool pred = use_gshare ? g_pred : b_pred;
+
+        ++statPredictions;
+        if (pred != taken)
+            ++statMispredicts;
+
+        // Train the components, then the chooser (only when they
+        // disagree).
+        gshare[gi] = bump(gshare[gi], taken);
+        bc.counter = bump(bc.counter, taken);
+        if (g_pred != b_pred)
+            bc.chooser = bump(bc.chooser, g_pred == taken);
+
+        history = ((history << 1) | (taken ? 1u : 0u)) & historyMask;
+        return pred == taken;
+    }
 
     double accuracy() const;
     StatGroup &stats() { return statGroup; }
@@ -36,17 +62,40 @@ class BranchPredictor
 
   private:
     static bool counterTaken(std::uint8_t c) { return c >= 2; }
-    static std::uint8_t bump(std::uint8_t c, bool taken);
 
-    std::uint32_t gshareIndex(std::uint32_t pc) const;
-    std::uint32_t bimodalIndex(std::uint32_t pc) const;
+    static std::uint8_t
+    bump(std::uint8_t c, bool taken)
+    {
+        if (taken)
+            return c < 3 ? c + 1 : 3;
+        return c > 0 ? c - 1 : 0;
+    }
+
+    std::uint32_t
+    gshareIndex(std::uint32_t pc) const
+    {
+        return ((pc >> 2) ^ history) & mask;
+    }
+
+    std::uint32_t
+    bimodalIndex(std::uint32_t pc) const
+    {
+        return (pc >> 2) & mask;
+    }
+
+    /** Bimodal counter and chooser share their index, so they live in
+     *  one array entry — one cache line serves both lookups. */
+    struct BimodalEntry
+    {
+        std::uint8_t counter;
+        std::uint8_t chooser;  //!< >=2 selects gshare
+    };
 
     std::uint32_t mask;
     std::uint32_t historyMask;
     std::uint32_t history = 0;
     std::vector<std::uint8_t> gshare;
-    std::vector<std::uint8_t> bimodal;
-    std::vector<std::uint8_t> chooser;  //!< >=2 selects gshare
+    std::vector<BimodalEntry> bimodal;
 
     StatGroup statGroup;
     Counter statPredictions;

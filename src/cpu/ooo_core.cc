@@ -14,6 +14,11 @@ OooCore::OooCore(const CoreParams &params, SetAssocCache &l1i_cache,
 {
     fatal_if(p.issue_width == 0 || p.ruu_entries == 0, "degenerate core");
     dispatchCpi = std::max(1.0 / p.issue_width, p.dispatch_cpi);
+    // Structural bounds: at most one pending load per RUU slot plus
+    // the one being dispatched; the store ring is popped back below
+    // lsq_entries on every push, so lsq_entries + 1 is its peak.
+    pendingLoads.init(p.ruu_entries + 2);
+    pendingStores.init(p.lsq_entries + 2);
     statGroup.addCounter("l1d_accesses", statL1DAccesses);
     statGroup.addCounter("l1i_accesses", statL1IAccesses);
     statGroup.addCounter("l1d_misses", statL1DMisses);
@@ -27,148 +32,9 @@ OooCore::OooCore(const CoreParams &params, SetAssocCache &l1i_cache,
 }
 
 void
-OooCore::enforceWindow()
-{
-    // Retire completed loads; stall dispatch when the oldest pending
-    // load is more than a full RUU behind the dispatch point.
-    auto now = static_cast<Cycle>(cycleF);
-    while (!pendingLoads.empty()) {
-        const Pending &front = pendingLoads.front();
-        if (front.completion <= now) {
-            pendingLoads.pop_front();
-            continue;
-        }
-        if (instIndex - front.inst >= p.ruu_entries) {
-            cycleF = std::max(cycleF,
-                              static_cast<double>(front.completion));
-            now = static_cast<Cycle>(cycleF);
-            pendingLoads.pop_front();
-            ++statRobStalls;
-            continue;
-        }
-        break;
-    }
-}
-
-Cycles
-OooCore::missLatency(Addr addr, AccessType type, Cycle now)
-{
-    const Addr block = blockAlign(addr, p.mshr_block_bytes);
-    mshrs.retire(now);
-
-    if (mshrs.tracks(block)) {
-        mshrs.noteMerge();
-        const Cycle ready = mshrs.readyAt(block);
-        return ready > now ? static_cast<Cycles>(ready - now) : 0;
-    }
-
-    if (mshrs.full()) {
-        // Structural stall: wait for the oldest fill.
-        const Cycle ready = mshrs.nextRetirement();
-        cycleF = std::max(cycleF, static_cast<double>(ready));
-        now = static_cast<Cycle>(cycleF);
-        mshrs.retire(now);
-        mshrs.noteFullStall();
-    }
-
-    ++statL2Demand;
-    const LowerMemory::Result res = lower.access(block, type, now);
-    if (res.hit)
-        ++statL2DemandHits;
-    const Cycles total = p.l1_latency + res.latency;
-    mshrs.allocate(block, now + total);
-    return total;
-}
-
-void
 OooCore::run(TraceSource &trace, std::uint64_t records)
 {
-    TraceRecord r;
-    for (std::uint64_t n = 0; n < records; ++n) {
-        if (!trace.next(r))
-            break;
-
-        insts += r.inst_gap + 1;
-        instIndex += r.inst_gap + 1;
-        cycleF += (r.inst_gap + 1) * dispatchCpi;
-
-        if (r.has_branch) {
-            if (!bpred.predictAndUpdate(r.branch_pc, r.branch_taken))
-                cycleF += p.mispredict_penalty;
-        }
-
-        enforceWindow();
-
-        const bool ifetch = r.op == TraceOp::Ifetch;
-        const bool store = r.op == TraceOp::Store;
-
-        // A pointer-chase load cannot issue before the previous deep
-        // load's data returns — this is what exposes L2 *hit* latency
-        // (independent loads hide under the RUU window instead).
-        if (r.depends_on_prev && !store && !ifetch) {
-            if (static_cast<double>(lastMissCompletion) > cycleF) {
-                cycleF = static_cast<double>(lastMissCompletion);
-                ++statDepStalls;
-            }
-        }
-        const auto now = static_cast<Cycle>(cycleF);
-        SetAssocCache &l1 = ifetch ? l1i : l1d;
-        if (ifetch)
-            ++statL1IAccesses;
-        else
-            ++statL1DAccesses;
-
-        const SetAssocCache::Access a = l1.access(r.addr, store);
-        if (a.evicted && a.evicted_dirty)
-            lower.access(a.evicted_addr, AccessType::Writeback, now);
-        if (a.hit)
-            continue;
-
-        if (ifetch)
-            ++statL1IMisses;
-        else
-            ++statL1DMisses;
-
-        const AccessType type =
-            store ? AccessType::Write : AccessType::Read;
-        const Cycles lat = missLatency(r.addr, type, now);
-        const Cycle completion = now + lat;
-        lastCompletion = std::max(lastCompletion, completion);
-
-        // Latency-critical loads feed consumers immediately: only a
-        // small slack of independent work hides their latency.
-        if (r.latency_critical && !store && !ifetch &&
-            completion > now + p.consumer_slack) {
-            const double resume =
-                static_cast<double>(completion - p.consumer_slack);
-            if (resume > cycleF) {
-                cycleF = resume;
-                ++statCriticalStalls;
-            }
-        }
-
-        if (store) {
-            // Stores retire through the LSQ without blocking dispatch
-            // unless the queue fills.
-            pendingStores.push_back(completion);
-            while (!pendingStores.empty() &&
-                   pendingStores.front() <=
-                       static_cast<Cycle>(cycleF)) {
-                pendingStores.pop_front();
-            }
-            if (pendingStores.size() > p.lsq_entries) {
-                cycleF = std::max(
-                    cycleF, static_cast<double>(pendingStores.front()));
-                pendingStores.pop_front();
-                ++statLsqStalls;
-            }
-        } else {
-            // Loads (and ifetches) hold the window.
-            pendingLoads.push_back({instIndex, completion});
-            if (!ifetch)
-                lastMissCompletion = completion;
-        }
-    }
+    runTyped(lower, trace, records);
 }
 
 std::uint64_t

@@ -10,20 +10,31 @@
  * its fill returns, so short L2 hits hide under the window while
  * memory-latency misses stall the core — exactly the sensitivity the
  * paper's L2 experiments need.
+ *
+ * The per-reference loop is a template over the lower-memory and trace
+ * types (runTyped). The System instantiates it per concrete (final)
+ * cache organization with a non-virtual packed-trace cursor, so the
+ * whole access chain — trace replay, L1 lookup and replacement, the
+ * organization's access() — inlines into one loop body with no virtual
+ * dispatch. run(TraceSource&) keeps the fully polymorphic path for
+ * tools and tests; both instantiate the same body, so they are
+ * bit-identical by construction.
  */
 
 #ifndef NURAPID_CPU_OOO_CORE_HH
 #define NURAPID_CPU_OOO_CORE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
 
+#include "common/fixed_ring.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cpu/branch_predictor.hh"
 #include "mem/lower_memory.hh"
 #include "mem/mshr.hh"
 #include "mem/set_assoc_cache.hh"
+#include "sim/profile/profile.hh"
 #include "trace/record.hh"
 
 namespace nurapid {
@@ -67,8 +78,19 @@ class OooCore
     OooCore(const CoreParams &params, SetAssocCache &l1i,
             SetAssocCache &l1d, LowerMemory &lower);
 
-    /** Runs @p records trace records through the machine. */
+    /** Runs @p records trace records through the machine (polymorphic
+     *  trace + lower memory; tools/tests). */
     void run(TraceSource &trace, std::uint64_t records);
+
+    /**
+     * Devirtualized equivalent: @p lower_mem must be the same object
+     * the core was constructed against, passed as its concrete final
+     * type; @p trace is any type with bool next(TraceRecord&). The
+     * loop body is shared with run(), so results are bit-identical.
+     */
+    template <class LowerT, class TraceT>
+    void runTyped(LowerT &lower_mem, TraceT &trace,
+                  std::uint64_t records);
 
     /** Cycles elapsed since the last resetStats() (incl. drain). */
     std::uint64_t cycles() const;
@@ -92,8 +114,35 @@ class OooCore
         Cycle completion = 0;
     };
 
-    void enforceWindow();
-    Cycles missLatency(Addr addr, AccessType type, Cycle now);
+    /** Retires completed loads; stalls dispatch when the oldest
+     *  pending load is a full RUU behind the dispatch point. Inline:
+     *  runs once per record, usually hitting the empty/young-front
+     *  early exit. */
+    void
+    enforceWindow()
+    {
+        auto now = static_cast<Cycle>(cycleF);
+        while (!pendingLoads.empty()) {
+            const Pending &front = pendingLoads.front();
+            if (front.completion <= now) {
+                pendingLoads.pop_front();
+                continue;
+            }
+            if (instIndex - front.inst >= p.ruu_entries) {
+                cycleF = std::max(cycleF,
+                                  static_cast<double>(front.completion));
+                now = static_cast<Cycle>(cycleF);
+                pendingLoads.pop_front();
+                ++statRobStalls;
+                continue;
+            }
+            break;
+        }
+    }
+
+    template <class LowerT>
+    Cycles missLatency(LowerT &lower_mem, Addr addr, AccessType type,
+                       Cycle now);
 
     CoreParams p;
     SetAssocCache &l1i;
@@ -110,8 +159,12 @@ class OooCore
     Cycle lastMissCompletion = 0;  //!< last deep load's data-ready time
     Cycle cycleBase = 0;        //!< measurement-phase baselines
     std::uint64_t instBase = 0;
-    std::deque<Pending> pendingLoads;
-    std::deque<Cycle> pendingStores;
+    /** In-flight queues are structurally bounded — loads by RUU
+     *  occupancy (one in-window miss per instruction slot), stores by
+     *  the LSQ drain rule — so they live in fixed rings that panic on
+     *  overflow instead of deque segments that allocate mid-loop. */
+    FixedRing<Pending> pendingLoads;
+    FixedRing<Cycle> pendingStores;
 
     StatGroup statGroup;
     Counter statL1DAccesses;
@@ -125,6 +178,133 @@ class OooCore
     Counter statDepStalls;
     Counter statCriticalStalls;
 };
+
+template <class LowerT>
+Cycles
+OooCore::missLatency(LowerT &lower_mem, Addr addr, AccessType type,
+                     Cycle now)
+{
+    const Addr block = blockAlign(addr, p.mshr_block_bytes);
+    mshrs.retire(now);
+
+    if (mshrs.tracks(block)) {
+        mshrs.noteMerge();
+        const Cycle ready = mshrs.readyAt(block);
+        return ready > now ? static_cast<Cycles>(ready - now) : 0;
+    }
+
+    if (mshrs.full()) {
+        // Structural stall: wait for the oldest fill.
+        const Cycle ready = mshrs.nextRetirement();
+        cycleF = std::max(cycleF, static_cast<double>(ready));
+        now = static_cast<Cycle>(cycleF);
+        mshrs.retire(now);
+        mshrs.noteFullStall();
+    }
+
+    ++statL2Demand;
+    NURAPID_PROFILE_SCOPE(L2Org);
+    const LowerMemory::Result res = lower_mem.access(block, type, now);
+    if (res.hit)
+        ++statL2DemandHits;
+    const Cycles total = p.l1_latency + res.latency;
+    mshrs.allocate(block, now + total);
+    return total;
+}
+
+template <class LowerT, class TraceT>
+void
+OooCore::runTyped(LowerT &lower_mem, TraceT &trace, std::uint64_t records)
+{
+    TraceRecord r;
+    for (std::uint64_t n = 0; n < records; ++n) {
+        if (!trace.next(r))
+            break;
+
+        insts += r.inst_gap + 1;
+        instIndex += r.inst_gap + 1;
+        cycleF += (r.inst_gap + 1) * dispatchCpi;
+
+        if (r.has_branch) {
+            if (!bpred.predictAndUpdate(r.branch_pc, r.branch_taken))
+                cycleF += p.mispredict_penalty;
+        }
+
+        enforceWindow();
+
+        const bool ifetch = r.op == TraceOp::Ifetch;
+        const bool store = r.op == TraceOp::Store;
+
+        // A pointer-chase load cannot issue before the previous deep
+        // load's data returns — this is what exposes L2 *hit* latency
+        // (independent loads hide under the RUU window instead).
+        if (r.depends_on_prev && !store && !ifetch) {
+            if (static_cast<double>(lastMissCompletion) > cycleF) {
+                cycleF = static_cast<double>(lastMissCompletion);
+                ++statDepStalls;
+            }
+        }
+        const auto now = static_cast<Cycle>(cycleF);
+        SetAssocCache &l1 = ifetch ? l1i : l1d;
+        if (ifetch)
+            ++statL1IAccesses;
+        else
+            ++statL1DAccesses;
+
+        const SetAssocCache::Access a = l1.access(r.addr, store);
+        if (a.evicted && a.evicted_dirty) {
+            NURAPID_PROFILE_SCOPE(L2Org);
+            lower_mem.access(a.evicted_addr, AccessType::Writeback, now);
+        }
+        if (a.hit)
+            continue;
+
+        if (ifetch)
+            ++statL1IMisses;
+        else
+            ++statL1DMisses;
+
+        const AccessType type =
+            store ? AccessType::Write : AccessType::Read;
+        const Cycles lat = missLatency(lower_mem, r.addr, type, now);
+        const Cycle completion = now + lat;
+        lastCompletion = std::max(lastCompletion, completion);
+
+        // Latency-critical loads feed consumers immediately: only a
+        // small slack of independent work hides their latency.
+        if (r.latency_critical && !store && !ifetch &&
+            completion > now + p.consumer_slack) {
+            const double resume =
+                static_cast<double>(completion - p.consumer_slack);
+            if (resume > cycleF) {
+                cycleF = resume;
+                ++statCriticalStalls;
+            }
+        }
+
+        if (store) {
+            // Stores retire through the LSQ without blocking dispatch
+            // unless the queue fills.
+            pendingStores.push_back(completion);
+            while (!pendingStores.empty() &&
+                   pendingStores.front() <=
+                       static_cast<Cycle>(cycleF)) {
+                pendingStores.pop_front();
+            }
+            if (pendingStores.size() > p.lsq_entries) {
+                cycleF = std::max(
+                    cycleF, static_cast<double>(pendingStores.front()));
+                pendingStores.pop_front();
+                ++statLsqStalls;
+            }
+        } else {
+            // Loads (and ifetches) hold the window.
+            pendingLoads.push_back({instIndex, completion});
+            if (!ifetch)
+                lastMissCompletion = completion;
+        }
+    }
+}
 
 } // namespace nurapid
 

@@ -18,7 +18,7 @@
 
 namespace nurapid {
 
-class ConventionalL2L3 : public LowerMemory
+class ConventionalL2L3 final : public LowerMemory
 {
   public:
     struct Params

@@ -20,9 +20,7 @@ CacheOrg::numBlocks() const
 
 SetAssocCache::SetAssocCache(const CacheOrg &org)
     : organization(org), sets(org.numSets()),
-      lines(std::size_t{sets} * org.assoc),
-      replacer(Replacer::create(org.repl, sets, org.assoc, org.repl_seed)),
-      statGroup(org.name)
+      lines(std::size_t{sets} * org.assoc), statGroup(org.name)
 {
     fatal_if(org.capacity_bytes == 0, "%s: zero capacity",
              org.name.c_str());
@@ -33,6 +31,35 @@ SetAssocCache::SetAssocCache(const CacheOrg &org)
              "%s: capacity not divisible by assoc*block", org.name.c_str());
     fatal_if(!isPowerOf2(sets), "%s: set count %u not pow2",
              org.name.c_str(), sets);
+    blockShift = floorLog2(org.block_bytes);
+    tagShift = blockShift + floorLog2(sets);
+
+    switch (org.repl) {
+      case ReplPolicy::LRU:
+        // Link each set's ways in index order; the order is arbitrary
+        // (every way is touched at fill before the chain is consulted).
+        lruHead.assign(sets, 0);
+        lruTail.assign(sets, org.assoc - 1);
+        for (std::uint32_t s = 0; s < sets; ++s) {
+            const std::size_t base = std::size_t{s} * org.assoc;
+            for (std::uint32_t w = 0; w < org.assoc; ++w) {
+                lines[base + w].prev = w == 0 ? 0 : w - 1;
+                lines[base + w].next =
+                    w + 1 == org.assoc ? w : w + 1;
+            }
+        }
+        break;
+      case ReplPolicy::TreePLRU:
+        fatal_if(!isPowerOf2(org.assoc) || org.assoc < 2,
+                 "tree-PLRU needs a power-of-two way count >= 2, got %u",
+                 org.assoc);
+        plruNodesPerSet = org.assoc - 1;
+        plruTree.assign(std::size_t{sets} * plruNodesPerSet, 0);
+        break;
+      case ReplPolicy::Random:
+        replRng.reseed(org.repl_seed);
+        break;
+    }
 
     statGroup.addCounter("hits", statHits);
     statGroup.addCounter("misses", statMisses);
@@ -40,48 +67,13 @@ SetAssocCache::SetAssocCache(const CacheOrg &org)
     statGroup.addCounter("writebacks", statWritebacks);
 }
 
-std::uint32_t
-SetAssocCache::setIndex(Addr addr) const
-{
-    return static_cast<std::uint32_t>(
-        (addr / organization.block_bytes) & (sets - 1));
-}
-
-Addr
-SetAssocCache::tagOf(Addr addr) const
-{
-    return addr / organization.block_bytes / sets;
-}
-
-SetAssocCache::Line &
-SetAssocCache::line(std::uint32_t set, std::uint32_t way)
-{
-    return lines[std::size_t{set} * organization.assoc + way];
-}
-
 SetAssocCache::Access
-SetAssocCache::access(Addr addr, bool is_write)
+SetAssocCache::accessMiss(std::uint32_t set, Addr tag, bool is_write)
 {
-    const std::uint32_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-
-    Access result;
-    for (std::uint32_t w = 0; w < organization.assoc; ++w) {
-        Line &l = line(set, w);
-        if (l.valid && l.tag == tag) {
-            ++statHits;
-            replacer->touch(set, w);
-            if (is_write)
-                l.dirty = true;
-            result.hit = true;
-            result.way = w;
-            return result;
-        }
-    }
-
     ++statMisses;
 
-    // Prefer an invalid way; otherwise consult the replacer.
+    Access result;
+    // Prefer an invalid way; otherwise consult the policy.
     std::uint32_t victim_way = organization.assoc;
     for (std::uint32_t w = 0; w < organization.assoc; ++w) {
         if (!line(set, w).valid) {
@@ -90,10 +82,7 @@ SetAssocCache::access(Addr addr, bool is_write)
         }
     }
     if (victim_way == organization.assoc)
-        victim_way = replacer->victim(set);
-    panic_if(victim_way >= organization.assoc,
-             "%s: replacer nominated invalid way %u",
-             organization.name.c_str(), victim_way);
+        victim_way = victimWay(set);
 
     Line &v = line(set, victim_way);
     if (v.valid) {
@@ -109,7 +98,7 @@ SetAssocCache::access(Addr addr, bool is_write)
     v.tag = tag;
     v.valid = true;
     v.dirty = is_write;
-    replacer->fill(set, victim_way);
+    touchRepl(set, victim_way);
 
     result.way = victim_way;
     return result;
@@ -118,10 +107,8 @@ SetAssocCache::access(Addr addr, bool is_write)
 bool
 SetAssocCache::contains(Addr addr) const
 {
-    const std::uint32_t set =
-        static_cast<std::uint32_t>(
-            (addr / organization.block_bytes) & (sets - 1));
-    const Addr tag = addr / organization.block_bytes / sets;
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
     for (std::uint32_t w = 0; w < organization.assoc; ++w) {
         const Line &l =
             lines[std::size_t{set} * organization.assoc + w];
@@ -208,6 +195,41 @@ SetAssocCache::audit(AuditSink &sink) const
             }
         }
     }
+
+    if (organization.repl == ReplPolicy::LRU) {
+        // The recency chain must visit every way exactly once from
+        // head to tail; a cycle or dropped way corrupts victim choice.
+        std::vector<std::uint8_t> seen(organization.assoc);
+        for (std::uint32_t s = 0; s < sets; ++s) {
+            const std::size_t base = std::size_t{s} * organization.assoc;
+            seen.assign(organization.assoc, 0);
+            std::uint32_t w = lruHead[s];
+            std::uint32_t visited = 0;
+            bool broken = false;
+            while (visited < organization.assoc) {
+                if (w >= organization.assoc || seen[w]) {
+                    broken = true;
+                    break;
+                }
+                seen[w] = 1;
+                ++visited;
+                if (w == lruTail[s])
+                    break;
+                w = lines[base + w].next;
+            }
+            if (broken || visited != organization.assoc) {
+                clean = false;
+                sink.violation({organization.name, "lru-chain",
+                                strprintf("set %u recency chain visits "
+                                          "%u of %u ways", s, visited,
+                                          organization.assoc),
+                                s, AuditViolation::kNoIndex,
+                                AuditViolation::kNoIndex,
+                                AuditViolation::kNoIndex});
+            }
+        }
+    }
+
     return clean;
 }
 

@@ -6,6 +6,16 @@
  * and the per-bank tag state of the D-NUCA model. Tracks tags, valid
  * and dirty bits only (this is a performance/energy simulator; no data
  * payloads are stored).
+ *
+ * The replacement policy is embedded rather than held behind the
+ * polymorphic Replacer interface: access() sits inside the simulator's
+ * per-reference loop (every L1 I/D reference lands here), so the
+ * policy update must inline into it. LRU uses an intrusive
+ * doubly-linked chain per set (MRU at head, victim at tail) — exactly
+ * equivalent to stamp-based LRU because victim() is only consulted
+ * when every way is valid and stamps are globally unique, so there are
+ * no ties for a chain order to break differently. Tree-PLRU and
+ * Random mirror the Replacer implementations bit for bit.
  */
 
 #ifndef NURAPID_MEM_SET_ASSOC_CACHE_HH
@@ -13,10 +23,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/replacement.hh"
@@ -56,8 +66,30 @@ class SetAssocCache
     /**
      * Performs a demand access: on a miss the block is allocated
      * (write-allocate) and the displaced victim, if any, is reported.
+     * The hit scan is defined here so it inlines into the callers'
+     * per-reference loops; the fill path lives out of line.
      */
-    Access access(Addr addr, bool is_write);
+    Access
+    access(Addr addr, bool is_write)
+    {
+        const std::uint32_t set = setIndex(addr);
+        const Addr tag = tagOf(addr);
+
+        for (std::uint32_t w = 0; w < organization.assoc; ++w) {
+            Line &l = line(set, w);
+            if (l.valid && l.tag == tag) {
+                ++statHits;
+                touchRepl(set, w);
+                if (is_write)
+                    l.dirty = true;
+                Access result;
+                result.hit = true;
+                result.way = w;
+                return result;
+            }
+        }
+        return accessMiss(set, tag, is_write);
+    }
 
     /** Looks up @p addr without changing any state. */
     bool contains(Addr addr) const;
@@ -76,8 +108,15 @@ class SetAssocCache
     std::uint64_t misses() const { return statMisses.value(); }
     double missRatio() const;
 
-    /** Set index of an address (exposed for hot-set analyses). */
-    std::uint32_t setIndex(Addr addr) const;
+    /** Set index of an address (exposed for hot-set analyses). Block
+     *  size and set count are enforced powers of two, so the index
+     *  math is shifts — no per-access integer division. */
+    std::uint32_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(
+            (addr >> blockShift) & (sets - 1));
+    }
 
     /** Calls @p fn(block_addr, dirty) for every valid line. */
     void forEachValid(const std::function<void(Addr, bool)> &fn) const;
@@ -86,28 +125,146 @@ class SetAssocCache
     std::uint64_t validCount() const;
 
     /**
-     * Audits tag-store integrity: no set holds two valid lines with the
-     * same tag (a duplicate silently halves effective capacity and
-     * makes hit way selection order-dependent). Violations go to
-     * @p sink under component name "<org name>"; returns true if clean.
+     * Audits tag-store integrity: no set holds two valid lines with
+     * the same tag (a duplicate silently halves effective capacity and
+     * makes hit way selection order-dependent), and under LRU each
+     * set's recency chain is a consistent permutation of its ways.
+     * Violations go to @p sink under component name "<org name>";
+     * returns true if clean.
      */
     bool audit(AuditSink &sink) const;
 
   private:
+    /** Tag state with the LRU chain node embedded: a hit touches one
+     *  array entry for both the tag match and the recency splice
+     *  instead of spreading them over two vectors. The chain fields
+     *  are way indices within the line's set; they are only
+     *  maintained under ReplPolicy::LRU. */
     struct Line
     {
         Addr tag = 0;
+        std::uint32_t prev = 0;
+        std::uint32_t next = 0;
         bool valid = false;
         bool dirty = false;
     };
 
-    Addr tagOf(Addr addr) const;
-    Line &line(std::uint32_t set, std::uint32_t way);
+    Addr tagOf(Addr addr) const { return addr >> tagShift; }
+
+    Line &
+    line(std::uint32_t set, std::uint32_t way)
+    {
+        return lines[std::size_t{set} * organization.assoc + way];
+    }
+
+    /** Miss path of access(): victim selection and fill. */
+    Access accessMiss(std::uint32_t set, Addr tag, bool is_write);
+
+    /** Records a hit or fill on (set, way) in the embedded policy. */
+    void
+    touchRepl(std::uint32_t set, std::uint32_t way)
+    {
+        switch (organization.repl) {
+          case ReplPolicy::LRU:
+            lruTouch(set, way);
+            break;
+          case ReplPolicy::TreePLRU:
+            plruTouch(set, way);
+            break;
+          case ReplPolicy::Random:
+            break;
+        }
+    }
+
+    /** Nominates a victim in a fully valid @p set. */
+    std::uint32_t
+    victimWay(std::uint32_t set)
+    {
+        switch (organization.repl) {
+          case ReplPolicy::LRU:
+            return lruTail[set];
+          case ReplPolicy::TreePLRU:
+            return plruVictim(set);
+          case ReplPolicy::Random:
+            return replRng.below(organization.assoc);
+        }
+        return 0;
+    }
+
+    /** Moves @p way to the MRU end of its set's chain. */
+    void
+    lruTouch(std::uint32_t set, std::uint32_t way)
+    {
+        if (lruHead[set] == way)
+            return;
+        const std::size_t base = std::size_t{set} * organization.assoc;
+        Line &n = lines[base + way];
+        // Unlink (way is not head, so it has a live prev).
+        lines[base + n.prev].next = n.next;
+        if (lruTail[set] == way)
+            lruTail[set] = n.prev;
+        else
+            lines[base + n.next].prev = n.prev;
+        // Relink at head.
+        n.next = lruHead[set];
+        lines[base + lruHead[set]].prev = way;
+        lruHead[set] = way;
+    }
+
+    void
+    plruTouch(std::uint32_t set, std::uint32_t way)
+    {
+        // Walk from the root towards the touched leaf, pointing every
+        // node *away* from the path taken.
+        const std::size_t base = std::size_t{set} * plruNodesPerSet;
+        std::uint32_t node = 0;
+        std::uint32_t lo = 0;
+        std::uint32_t hi = organization.assoc;
+        while (hi - lo > 1) {
+            const std::uint32_t mid = (lo + hi) / 2;
+            const bool went_right = way >= mid;
+            plruTree[base + node] =
+                static_cast<std::uint8_t>(!went_right);
+            node = 2 * node + (went_right ? 2 : 1);
+            if (went_right)
+                lo = mid;
+            else
+                hi = mid;
+        }
+    }
+
+    std::uint32_t
+    plruVictim(std::uint32_t set) const
+    {
+        const std::size_t base = std::size_t{set} * plruNodesPerSet;
+        std::uint32_t node = 0;
+        std::uint32_t lo = 0;
+        std::uint32_t hi = organization.assoc;
+        while (hi - lo > 1) {
+            const std::uint32_t mid = (lo + hi) / 2;
+            const bool go_right = plruTree[base + node] != 0;
+            node = 2 * node + (go_right ? 2 : 1);
+            if (go_right)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
 
     CacheOrg organization;
     std::uint32_t sets;
+    unsigned blockShift = 0;  //!< log2(block_bytes)
+    unsigned tagShift = 0;    //!< log2(block_bytes * sets)
     std::vector<Line> lines;  //!< [set * assoc + way]
-    std::unique_ptr<Replacer> replacer;
+
+    // Embedded replacement state (only the active policy's vectors are
+    // populated; the LRU chain itself lives inside Line).
+    std::vector<std::uint32_t> lruHead;  //!< MRU way per set
+    std::vector<std::uint32_t> lruTail;  //!< LRU way per set
+    std::uint32_t plruNodesPerSet = 0;
+    std::vector<std::uint8_t> plruTree;  //!< [set * nodesPerSet + node]
+    Rng replRng;
 
     StatGroup statGroup;
     Counter statHits;

@@ -26,6 +26,10 @@ DNucaCache::DNucaCache(const SramMacroModel &model, const Params &params)
     fatal_if(!isPowerOf2(sets), "set count %u not a power of two", sets);
     fatal_if(!isPowerOf2(p.cols), "bank-set count %u not a power of two",
              p.cols);
+    fatal_if(!isPowerOf2(p.block_bytes),
+             "block size %u not a power of two", p.block_bytes);
+    blockShift = floorLog2(p.block_bytes);
+    tagShift = blockShift + floorLog2(sets);
 
     statGroup.addCounter("demand_accesses", statDemandAccesses);
     statGroup.addCounter("writeback_accesses", statWritebackAccesses);
@@ -45,13 +49,13 @@ std::uint32_t
 DNucaCache::setOf(Addr block) const
 {
     return static_cast<std::uint32_t>(
-        (block / p.block_bytes) & (sets - 1));
+        (block >> blockShift) & (sets - 1));
 }
 
 Addr
 DNucaCache::tagOf(Addr block) const
 {
-    return block / p.block_bytes / sets;
+    return block >> tagShift;
 }
 
 std::uint32_t

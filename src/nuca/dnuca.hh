@@ -44,7 +44,7 @@ dnucaSearchName(DNucaSearch s)
     return "unknown";
 }
 
-class DNucaCache : public LowerMemory
+class DNucaCache final : public LowerMemory
 {
   public:
     struct Params
@@ -103,6 +103,8 @@ class DNucaCache : public LowerMemory
     DNucaTiming times;
     std::uint32_t sets;
     std::uint32_t waysPerRow;
+    unsigned blockShift = 0;  //!< log2(block_bytes)
+    unsigned tagShift = 0;    //!< log2(block_bytes * sets)
     Addr partialMask;
     std::vector<Line> lines;
     std::vector<std::uint64_t> stamps;

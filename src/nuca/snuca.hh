@@ -25,7 +25,7 @@
 
 namespace nurapid {
 
-class SNucaCache : public LowerMemory
+class SNucaCache final : public LowerMemory
 {
   public:
     struct Params

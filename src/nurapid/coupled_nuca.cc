@@ -23,6 +23,10 @@ CoupledNucaCache::CoupledNucaCache(const SramMacroModel &model,
              "associativity %u not divisible across %u d-groups",
              p.assoc, p.num_dgroups);
     fatal_if(!isPowerOf2(sets), "set count %u not a power of two", sets);
+    fatal_if(!isPowerOf2(p.block_bytes),
+             "block size %u not a power of two", p.block_bytes);
+    blockShift = floorLog2(p.block_bytes);
+    tagShift = blockShift + floorLog2(sets);
 
     statGroup.addCounter("demand_accesses", statDemandAccesses);
     statGroup.addCounter("writeback_accesses", statWritebackAccesses);
@@ -91,8 +95,8 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
     cacheEnergy += times.tag_read_nj;
 
     const std::uint32_t set = static_cast<std::uint32_t>(
-        (block / p.block_bytes) & (sets - 1));
-    const Addr tag = block / p.block_bytes / sets;
+        (block >> blockShift) & (sets - 1));
+    const Addr tag = block >> tagShift;
 
     // Tag probe across all ways.
     std::uint32_t hit_way = p.assoc;

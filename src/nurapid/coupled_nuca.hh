@@ -23,7 +23,7 @@
 
 namespace nurapid {
 
-class CoupledNucaCache : public LowerMemory
+class CoupledNucaCache final : public LowerMemory
 {
   public:
     struct Params
@@ -73,6 +73,8 @@ class CoupledNucaCache : public LowerMemory
     NuRapidTiming times;
     std::uint32_t sets;
     std::uint32_t waysPerGroup;
+    unsigned blockShift = 0;  //!< log2(block_bytes)
+    unsigned tagShift = 0;    //!< log2(block_bytes * sets)
     std::vector<Line> lines;
     std::vector<std::uint64_t> stamps;
     std::uint64_t clock = 0;

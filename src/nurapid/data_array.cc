@@ -22,10 +22,13 @@ DataArray::DataArray(std::uint32_t num_groups,
     fatal_if(num_regions == 0 || frames_per_group % num_regions != 0,
              "frames per d-group (%u) not divisible into %u regions",
              frames_per_group, num_regions);
+    frameRegion.resize(nFrames);
+    for (std::uint32_t f = 0; f < nFrames; ++f)
+        frameRegion[f] = f / framesPerRegion;
     // Pre-populate free lists: every frame starts free.
     for (std::uint32_t g = 0; g < nGroups; ++g) {
         for (std::uint32_t f = 0; f < nFrames; ++f)
-            region(g, f / framesPerRegion).free.push_back(f);
+            region(g, frameRegion[f]).free.push_back(f);
     }
     if (replPolicy == DistanceRepl::TreePLRU) {
         fatal_if(framesPerRegion < 2,
@@ -47,18 +50,6 @@ DataArray::regionOf(Addr block_index) const
     // blocks of one hot set) across regions.
     const std::uint64_t h = block_index * 0x9e3779b97f4a7c15ULL;
     return static_cast<std::uint32_t>((h >> 32) % nRegions);
-}
-
-std::uint32_t
-DataArray::regionOfFrame(std::uint32_t f) const
-{
-    return f / framesPerRegion;
-}
-
-DataArray::RegionList &
-DataArray::region(std::uint32_t group, std::uint32_t region_idx)
-{
-    return lists[std::size_t{group} * nRegions + region_idx];
 }
 
 bool
@@ -134,69 +125,6 @@ DataArray::swapFrames(std::uint32_t group_a, std::uint32_t frame_a,
     std::swap(a.way, b.way);
     touch(group_a, frame_a);
     touch(group_b, frame_b);
-}
-
-void
-DataArray::touch(std::uint32_t group, std::uint32_t f)
-{
-    panic_if(!frame(group, f).valid, "touching invalid frame");
-    unlink(group, f);
-    linkFront(group, f);
-    if (replPolicy == DistanceRepl::TreePLRU)
-        plru[group]->touch(regionOfFrame(f), f % framesPerRegion);
-}
-
-DataArray::Frame &
-DataArray::frame(std::uint32_t group, std::uint32_t f)
-{
-    panic_if(group >= nGroups || f >= nFrames,
-             "frame (%u, %u) out of range", group, f);
-    return frames[std::size_t{group} * nFrames + f];
-}
-
-const DataArray::Frame &
-DataArray::frame(std::uint32_t group, std::uint32_t f) const
-{
-    panic_if(group >= nGroups || f >= nFrames,
-             "frame (%u, %u) out of range", group, f);
-    return frames[std::size_t{group} * nFrames + f];
-}
-
-void
-DataArray::unlink(std::uint32_t group, std::uint32_t f)
-{
-    Node &n = nodes[std::size_t{group} * nFrames + f];
-    if (!n.linked)
-        return;
-    RegionList &r = region(group, regionOfFrame(f));
-    const std::size_t base = std::size_t{group} * nFrames;
-    if (n.prev != kNoFrame)
-        nodes[base + n.prev].next = n.next;
-    else
-        r.head = n.next;
-    if (n.next != kNoFrame)
-        nodes[base + n.next].prev = n.prev;
-    else
-        r.tail = n.prev;
-    n.prev = n.next = kNoFrame;
-    n.linked = false;
-}
-
-void
-DataArray::linkFront(std::uint32_t group, std::uint32_t f)
-{
-    Node &n = nodes[std::size_t{group} * nFrames + f];
-    panic_if(n.linked, "frame %u already linked", f);
-    RegionList &r = region(group, regionOfFrame(f));
-    const std::size_t base = std::size_t{group} * nFrames;
-    n.prev = kNoFrame;
-    n.next = r.head;
-    if (r.head != kNoFrame)
-        nodes[base + r.head].prev = f;
-    r.head = f;
-    if (r.tail == kNoFrame)
-        r.tail = f;
-    n.linked = true;
 }
 
 std::uint64_t

@@ -23,6 +23,7 @@
 
 #include <memory>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "mem/replacement.hh"
@@ -79,16 +80,46 @@ class DataArray
     void swapFrames(std::uint32_t group_a, std::uint32_t frame_a,
                     std::uint32_t group_b, std::uint32_t frame_b);
 
-    /** Records a use of @p frame for region-LRU ordering. */
-    void touch(std::uint32_t group, std::uint32_t frame);
+    /**
+     * Records a use of @p f for region-LRU ordering. Inline (with the
+     * chain splice it performs): this runs on every L2 hit.
+     */
+    void
+    touch(std::uint32_t group, std::uint32_t f)
+    {
+        panic_if(!frame(group, f).valid, "touching invalid frame");
+        unlink(group, f);
+        linkFront(group, f);
+        if (replPolicy == DistanceRepl::TreePLRU)
+            plru[group]->touch(regionOfFrame(f), f % framesPerRegion);
+    }
 
-    Frame &frame(std::uint32_t group, std::uint32_t f);
-    const Frame &frame(std::uint32_t group, std::uint32_t f) const;
+    Frame &
+    frame(std::uint32_t group, std::uint32_t f)
+    {
+        panic_if(group >= nGroups || f >= nFrames,
+                 "frame (%u, %u) out of range", group, f);
+        return frames[std::size_t{group} * nFrames + f];
+    }
+
+    const Frame &
+    frame(std::uint32_t group, std::uint32_t f) const
+    {
+        panic_if(group >= nGroups || f >= nFrames,
+                 "frame (%u, %u) out of range", group, f);
+        return frames[std::size_t{group} * nFrames + f];
+    }
 
     std::uint32_t numGroups() const { return nGroups; }
     std::uint32_t framesPerGroup() const { return nFrames; }
     std::uint32_t numRegions() const { return nRegions; }
-    std::uint32_t regionOfFrame(std::uint32_t f) const;
+
+    /** Region of a frame index (table lookup — frames are touched too
+     *  often for a divide by framesPerRegion here). */
+    std::uint32_t regionOfFrame(std::uint32_t f) const
+    {
+        return frameRegion[f];
+    }
 
     /** Valid-frame count (for invariant checks in tests). */
     std::uint64_t validCount() const;
@@ -118,9 +149,48 @@ class DataArray
         bool linked = false;
     };
 
-    RegionList &region(std::uint32_t group, std::uint32_t region_idx);
-    void unlink(std::uint32_t group, std::uint32_t f);
-    void linkFront(std::uint32_t group, std::uint32_t f);
+    RegionList &
+    region(std::uint32_t group, std::uint32_t region_idx)
+    {
+        return lists[std::size_t{group} * nRegions + region_idx];
+    }
+
+    void
+    unlink(std::uint32_t group, std::uint32_t f)
+    {
+        Node &n = nodes[std::size_t{group} * nFrames + f];
+        if (!n.linked)
+            return;
+        RegionList &r = region(group, regionOfFrame(f));
+        const std::size_t base = std::size_t{group} * nFrames;
+        if (n.prev != kNoFrame)
+            nodes[base + n.prev].next = n.next;
+        else
+            r.head = n.next;
+        if (n.next != kNoFrame)
+            nodes[base + n.next].prev = n.prev;
+        else
+            r.tail = n.prev;
+        n.prev = n.next = kNoFrame;
+        n.linked = false;
+    }
+
+    void
+    linkFront(std::uint32_t group, std::uint32_t f)
+    {
+        Node &n = nodes[std::size_t{group} * nFrames + f];
+        panic_if(n.linked, "frame %u already linked", f);
+        RegionList &r = region(group, regionOfFrame(f));
+        const std::size_t base = std::size_t{group} * nFrames;
+        n.prev = kNoFrame;
+        n.next = r.head;
+        if (r.head != kNoFrame)
+            nodes[base + r.head].prev = f;
+        r.head = f;
+        if (r.tail == kNoFrame)
+            r.tail = f;
+        n.linked = true;
+    }
 
     std::uint32_t nGroups;
     std::uint32_t nFrames;
@@ -131,6 +201,7 @@ class DataArray
 
     std::vector<Frame> frames;      //!< [group * nFrames + frame]
     std::vector<Node> nodes;        //!< LRU chain per frame
+    std::vector<std::uint32_t> frameRegion;  //!< frame -> region index
     std::vector<RegionList> lists;  //!< [group * nRegions + region]
     /** Per-group tree-PLRU state (regions as sets, frames as ways);
      *  only allocated under DistanceRepl::TreePLRU. */

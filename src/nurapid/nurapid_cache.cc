@@ -23,6 +23,9 @@ NuRapidCache::NuRapidCache(const SramMacroModel &model, const Params &params)
                 p.distance_repl, p.seed),
       mem(p.memory), statGroup(p.name), regionHist(p.num_dgroups)
 {
+    fatal_if(!isPowerOf2(p.block_bytes),
+             "block size %u not a power of two", p.block_bytes);
+    blockShift = floorLog2(p.block_bytes);
     fatal_if(p.frame_restriction != 0 &&
                  (p.capacity_bytes / p.num_dgroups / p.block_bytes) %
                          p.frame_restriction != 0,
@@ -115,7 +118,7 @@ NuRapidCache::promote(std::uint32_t set, std::uint32_t way, Cycles &busy)
     const std::uint32_t target =
         p.promotion == PromotionPolicy::NextFastest ? g - 1 : 0;
     const Addr block_index =
-        tagArray.blockAddr(set, way) / p.block_bytes;
+        tagArray.blockAddr(set, way) >> blockShift;
     const std::uint32_t region = dataArray.regionOf(block_index);
 
     ++statPromotions;
@@ -235,7 +238,7 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
         // Distance placement: the new block always enters the fastest
         // d-group (Section 2.1), demoting as needed.
         const std::uint32_t region = dataArray.regionOf(
-            block / p.block_bytes);
+            block >> blockShift);
         const std::uint32_t f0 = ensureFree(0, region, busy, result);
 
         e.valid = true;
@@ -372,7 +375,7 @@ NuRapidCache::audit(AuditSink &sink) const
                                 s, w, e.group, e.frame});
             }
             if (p.frame_restriction != 0) {
-                const Addr bi = tagArray.blockAddr(s, w) / p.block_bytes;
+                const Addr bi = tagArray.blockAddr(s, w) >> blockShift;
                 if (dataArray.regionOfFrame(e.frame) !=
                         dataArray.regionOf(bi)) {
                     clean = false;

@@ -32,7 +32,7 @@
 
 namespace nurapid {
 
-class NuRapidCache : public LowerMemory
+class NuRapidCache final : public LowerMemory
 {
   public:
     struct Params
@@ -116,6 +116,7 @@ class NuRapidCache : public LowerMemory
 
     Params p;
     NuRapidTiming times;
+    unsigned blockShift = 0;  //!< log2(block_bytes)
     TagArray tagArray;
     DataArray dataArray;
     MainMemory mem;

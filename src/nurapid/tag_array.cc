@@ -11,41 +11,26 @@ TagArray::TagArray(std::uint64_t capacity_bytes, std::uint32_t assoc,
           capacity_bytes / (std::uint64_t{assoc} * block_bytes))),
       ways(assoc), blockSize(block_bytes),
       entries(std::size_t{sets} * assoc),
-      stamps(std::size_t{sets} * assoc, 0)
+      chain(std::size_t{sets} * assoc), head(sets, 0),
+      tail(sets, assoc - 1)
 {
     fatal_if(assoc == 0, "tag array with zero associativity");
     fatal_if(!isPowerOf2(block_bytes), "block size %u not a power of two",
              block_bytes);
     fatal_if(!isPowerOf2(sets), "set count %u not a power of two", sets);
-}
+    blockShift = floorLog2(blockSize);
+    tagShift = blockShift + floorLog2(sets);
 
-std::uint32_t
-TagArray::setOf(Addr addr) const
-{
-    return static_cast<std::uint32_t>((addr / blockSize) & (sets - 1));
-}
-
-Addr
-TagArray::tagOf(Addr addr) const
-{
-    return addr / blockSize / sets;
-}
-
-TagArray::Lookup
-TagArray::lookup(Addr addr) const
-{
-    Lookup result;
-    result.set = setOf(addr);
-    const Addr tag = tagOf(addr);
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        const Entry &e = entries[std::size_t{result.set} * ways + w];
-        if (e.valid && e.tag == tag) {
-            result.hit = true;
-            result.way = w;
-            return result;
+    // Initial chain order (way index order) is arbitrary: the tail is
+    // only consulted once every way is valid, and valid ways have all
+    // been touched.
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        const std::size_t base = std::size_t{s} * ways;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            chain[base + w].prev = w == 0 ? 0 : w - 1;
+            chain[base + w].next = w + 1 == ways ? w : w + 1;
         }
     }
-    return result;
 }
 
 TagArray::Entry &
@@ -62,26 +47,6 @@ TagArray::entry(std::uint32_t set, std::uint32_t way) const
     panic_if(set >= sets || way >= ways, "tag entry (%u, %u) out of range",
              set, way);
     return entries[std::size_t{set} * ways + way];
-}
-
-void
-TagArray::touch(std::uint32_t set, std::uint32_t way)
-{
-    stamps[std::size_t{set} * ways + way] = ++clock;
-}
-
-std::uint32_t
-TagArray::victimWay(std::uint32_t set) const
-{
-    const std::size_t base = std::size_t{set} * ways;
-    std::uint32_t lru = 0;
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        if (!entries[base + w].valid)
-            return w;
-        if (stamps[base + w] < stamps[base + lru])
-            lru = w;
-    }
-    return lru;
 }
 
 Addr
@@ -104,37 +69,54 @@ bool
 TagArray::audit(AuditSink &sink) const
 {
     bool clean = true;
+    std::vector<std::uint8_t> seen(ways);
     for (std::uint32_t s = 0; s < sets; ++s) {
         const std::size_t base = std::size_t{s} * ways;
         for (std::uint32_t w = 0; w < ways; ++w) {
             const Entry &e = entries[base + w];
-            if (e.valid) {
-                for (std::uint32_t w2 = w + 1; w2 < ways; ++w2) {
-                    const Entry &o = entries[base + w2];
-                    if (o.valid && o.tag == e.tag) {
-                        clean = false;
-                        sink.violation({"tag-array", "duplicate-tag",
-                                        strprintf("tag %#llx also in "
-                                                  "way %u",
-                                                  static_cast<
-                                                      unsigned long long>(
-                                                      e.tag), w2),
-                                        s, w, AuditViolation::kNoIndex,
-                                        AuditViolation::kNoIndex});
-                    }
+            if (!e.valid)
+                continue;
+            for (std::uint32_t w2 = w + 1; w2 < ways; ++w2) {
+                const Entry &o = entries[base + w2];
+                if (o.valid && o.tag == e.tag) {
+                    clean = false;
+                    sink.violation({"tag-array", "duplicate-tag",
+                                    strprintf("tag %#llx also in "
+                                              "way %u",
+                                              static_cast<
+                                                  unsigned long long>(
+                                                  e.tag), w2),
+                                    s, w, AuditViolation::kNoIndex,
+                                    AuditViolation::kNoIndex});
                 }
             }
-            if (stamps[base + w] > clock) {
-                clean = false;
-                sink.violation({"tag-array", "stamp-beyond-clock",
-                                strprintf("stamp %llu > clock %llu",
-                                          static_cast<unsigned long long>(
-                                              stamps[base + w]),
-                                          static_cast<unsigned long long>(
-                                              clock)),
-                                s, w, AuditViolation::kNoIndex,
-                                AuditViolation::kNoIndex});
+        }
+
+        // The recency chain must visit every way exactly once from
+        // head to tail; a cycle or dropped way corrupts LRU victims.
+        seen.assign(ways, 0);
+        std::uint32_t w = head[s];
+        std::uint32_t visited = 0;
+        bool broken = false;
+        while (visited < ways) {
+            if (w >= ways || seen[w]) {
+                broken = true;
+                break;
             }
+            seen[w] = 1;
+            ++visited;
+            if (w == tail[s])
+                break;
+            w = chain[base + w].next;
+        }
+        if (broken || visited != ways) {
+            clean = false;
+            sink.violation({"tag-array", "lru-chain",
+                            strprintf("set %u recency chain visits %u "
+                                      "of %u ways", s, visited, ways),
+                            s, AuditViolation::kNoIndex,
+                            AuditViolation::kNoIndex,
+                            AuditViolation::kNoIndex});
         }
     }
     return clean;

@@ -6,6 +6,13 @@
  * holds at most n blocks of a set), but every entry carries a *forward
  * pointer* (d-group, frame) to an arbitrary data frame — the decoupling
  * that enables distance associativity (Section 2.1, Figure 1).
+ *
+ * Set recency is tracked with an intrusive per-set chain (MRU head,
+ * LRU tail), matching DataArray's group chains: touch() is a constant-
+ * time unlink/relink instead of a stamp write, and victimWay() reads
+ * the tail instead of scanning stamps. Equivalent to stamp LRU because
+ * the tail is only consulted when every way is valid and touch order
+ * is a strict total order.
  */
 
 #ifndef NURAPID_NURAPID_TAG_ARRAY_HH
@@ -42,22 +49,69 @@ class TagArray
              std::uint32_t block_bytes);
 
     /** Probes the array; also fills set/way of the addressed set. */
-    Lookup lookup(Addr addr) const;
+    Lookup
+    lookup(Addr addr) const
+    {
+        Lookup result;
+        result.set = setOf(addr);
+        const Addr tag = tagOf(addr);
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            const Entry &e = entries[std::size_t{result.set} * ways + w];
+            if (e.valid && e.tag == tag) {
+                result.hit = true;
+                result.way = w;
+                return result;
+            }
+        }
+        return result;
+    }
 
     Entry &entry(std::uint32_t set, std::uint32_t way);
     const Entry &entry(std::uint32_t set, std::uint32_t way) const;
 
     /** Records a use for set-LRU data replacement. */
-    void touch(std::uint32_t set, std::uint32_t way);
+    void
+    touch(std::uint32_t set, std::uint32_t way)
+    {
+        if (head[set] == way)
+            return;
+        const std::size_t base = std::size_t{set} * ways;
+        Node &n = chain[base + way];
+        chain[base + n.prev].next = n.next;
+        if (tail[set] == way)
+            tail[set] = n.prev;
+        else
+            chain[base + n.next].prev = n.prev;
+        n.next = head[set];
+        chain[base + head[set]].prev = way;
+        head[set] = way;
+    }
 
     /** An invalid way of @p set if one exists, else the set-LRU way. */
-    std::uint32_t victimWay(std::uint32_t set) const;
+    std::uint32_t
+    victimWay(std::uint32_t set) const
+    {
+        const std::size_t base = std::size_t{set} * ways;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (!entries[base + w].valid)
+                return w;
+        }
+        return tail[set];
+    }
 
     /** Reconstructs the block address stored at (set, way). */
     Addr blockAddr(std::uint32_t set, std::uint32_t way) const;
 
-    std::uint32_t setOf(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    /** Block size and set count are powers of two: index math is
+     *  shifts, not per-access divisions. */
+    std::uint32_t
+    setOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(
+            (addr >> blockShift) & (sets - 1));
+    }
+
+    Addr tagOf(Addr addr) const { return addr >> tagShift; }
 
     std::uint32_t numSets() const { return sets; }
     std::uint32_t assoc() const { return ways; }
@@ -68,19 +122,29 @@ class TagArray
 
     /**
      * Audits tag-side invariants: no set holds two valid entries with
-     * the same tag (set-associative placement, Section 2.1), and no
-     * LRU stamp runs ahead of the array clock. Violations carry (set,
-     * way) context; returns true if clean.
+     * the same tag (set-associative placement, Section 2.1), and each
+     * set's recency chain visits every way exactly once. Violations
+     * carry (set, way) context; returns true if clean.
      */
     bool audit(AuditSink &sink) const;
 
   private:
+    /** Intrusive recency-chain node; indices are ways in one set. */
+    struct Node
+    {
+        std::uint32_t prev = 0;
+        std::uint32_t next = 0;
+    };
+
     std::uint32_t sets;
     std::uint32_t ways;
     std::uint32_t blockSize;
+    unsigned blockShift = 0;  //!< log2(blockSize)
+    unsigned tagShift = 0;    //!< log2(blockSize * sets)
     std::vector<Entry> entries;       //!< [set * ways + way]
-    std::vector<std::uint64_t> stamps;
-    std::uint64_t clock = 0;
+    std::vector<Node> chain;          //!< [set * ways + way]
+    std::vector<std::uint32_t> head;  //!< MRU way per set
+    std::vector<std::uint32_t> tail;  //!< LRU way per set
 };
 
 } // namespace nurapid

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "sim/profile/profile.hh"
 #include "sim/runner/run_engine.hh"
 #include "timing/geometry.hh"
 #include "trace/profiles.hh"
@@ -51,6 +52,37 @@ withWorkloadCpi(CoreParams params, const WorkloadProfile &profile)
     return params;
 }
 
+/**
+ * Recovers the concrete organization type behind the factory's
+ * LowerMemory pointer and invokes @p fn with it. Every organization is
+ * final, so this one switch is the only place virtual dispatch happens
+ * on the simulation path — inside fn the compiler statically binds and
+ * inlines the organization's access().
+ */
+template <class Fn>
+void
+withConcreteOrg(LowerMemory &lower, OrgKind kind, Fn &&fn)
+{
+    switch (kind) {
+      case OrgKind::BaseL2L3:
+        fn(static_cast<ConventionalL2L3 &>(lower));
+        return;
+      case OrgKind::DNuca:
+        fn(static_cast<DNucaCache &>(lower));
+        return;
+      case OrgKind::SNuca:
+        fn(static_cast<SNucaCache &>(lower));
+        return;
+      case OrgKind::NuRapid:
+        fn(static_cast<NuRapidCache &>(lower));
+        return;
+      case OrgKind::CoupledSA:
+        fn(static_cast<CoupledNucaCache &>(lower));
+        return;
+    }
+    panic("unknown organization kind");
+}
+
 } // namespace
 
 System::System(const OrgSpec &org, const WorkloadProfile &profile,
@@ -63,12 +95,35 @@ System::System(const OrgSpec &org, const WorkloadProfile &profile,
           *lowerMem)),
       trace(profile)
 {
+    if (packedTraceEnabled()) {
+        packed = sharedPackedTrace(
+            profile, length.warmup_records + length.measure_records);
+    }
+}
+
+void
+System::runRecords(std::uint64_t records)
+{
+    if (!packed) {
+        NURAPID_PROFILE_SCOPE(Core);
+        coreModel->run(trace, records);
+        return;
+    }
+    if (consumed + records > packed->size())
+        packed = sharedPackedTrace(prof, consumed + records);
+    NURAPID_PROFILE_SCOPE(Core);
+    PackedTrace::Cursor cur =
+        packed->cursorRange(consumed, consumed + records);
+    withConcreteOrg(*lowerMem, spec.kind, [&](auto &org) {
+        coreModel->runTyped(org, cur, records);
+    });
+    consumed += records - cur.remaining();
 }
 
 void
 System::warmup()
 {
-    coreModel->run(trace, length.warmup_records);
+    runRecords(length.warmup_records);
     coreModel->resetStats();
     lowerMem->resetStats();
 }
@@ -76,12 +131,13 @@ System::warmup()
 void
 System::measure()
 {
-    coreModel->run(trace, length.measure_records);
+    runRecords(length.measure_records);
 }
 
 RunMetrics
 System::metrics() const
 {
+    NURAPID_PROFILE_SCOPE(Stats);
     RunMetrics m;
     m.workload = prof.name;
     m.organization = spec.description();

@@ -14,6 +14,7 @@
 #include "cpu/ooo_core.hh"
 #include "energy/energy_model.hh"
 #include "sim/config.hh"
+#include "trace/packed_trace.hh"
 #include "trace/synthetic.hh"
 
 namespace nurapid {
@@ -74,6 +75,11 @@ class System
     SetAssocCache &l1d() { return l1dCache; }
 
   private:
+    /** Feeds the next @p records workload records through the core via
+     *  the devirtualized per-organization loop (or the live-generation
+     *  fallback when NURAPID_TRACE_PREGEN=0). */
+    void runRecords(std::uint64_t records);
+
     OrgSpec spec;
     WorkloadProfile prof;
     SimLength length;
@@ -81,7 +87,11 @@ class System
     SetAssocCache l1iCache;
     SetAssocCache l1dCache;
     std::unique_ptr<OooCore> coreModel;
-    SyntheticTrace trace;
+    SyntheticTrace trace;  //!< live-generation fallback stream
+    /** Shared pre-generated stream (null when pre-generation is off)
+     *  and the count of records this system has consumed from it. */
+    std::shared_ptr<const PackedTrace> packed;
+    std::uint64_t consumed = 0;
     ProcessorEnergyParams energyParams;
     double wallSeconds = 0;  //!< set by runAll()
 };
