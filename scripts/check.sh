@@ -59,6 +59,14 @@ for config in $configs; do
     (cd "$dir" && ctest -L tier1 -j "$jobs" --output-on-failure \
         | tail -n 3)
 
+    if [ "$config" = "release" ]; then
+        # The distilled-replay fast path defaults on; the whole suite
+        # must also hold with the live per-record loop.
+        echo "=== [$config] ctest -L tier1 (NURAPID_DISTILL=0) ==="
+        (cd "$dir" && NURAPID_DISTILL=0 ctest -L tier1 -j "$jobs" \
+            --output-on-failure | tail -n 3)
+    fi
+
     echo "=== [$config] fuzz smoke ($fuzz_iters iters, audits on) ==="
     NURAPID_AUDIT=1 NURAPID_AUDIT_INTERVAL=512 \
         "$dir/src/tools/nurapid_fuzz" --iters "$fuzz_iters" \
@@ -68,6 +76,9 @@ for config in $configs; do
         echo "=== [$config] perf smoke (short cold sweep, profiler on) ==="
         smoke_cache="$dir/perf_smoke_cache.json"
         rm -f "$smoke_cache"
+        # Drop cached distilled streams so the smoke always pays (and
+        # profiles) the distillation itself, not just an mmap load.
+        rm -f "$dir/trace_cache"/*.dtc
         smoke_log="$dir/perf_smoke.log"
         NURAPID_SIM_SCALE=0.05 NURAPID_RUN_CACHE="$smoke_cache" \
             sh scripts/regen_bench.sh "$dir" --quiet 2>&1 \
@@ -78,6 +89,43 @@ for config in $configs; do
         }
         [ -s "$smoke_cache" ] || {
             echo "perf smoke: sweep left no run cache" >&2
+            exit 1
+        }
+
+        # Distillation must show up in the profile and pay off: rerun
+        # the same short sweep with the live loop (NURAPID_DISTILL=0)
+        # and require a non-zero distill bucket plus a smaller core
+        # bucket in the distilled run.
+        echo "=== [$config] perf smoke (distill off, for comparison) ==="
+        off_cache="$dir/perf_smoke_cache_off.json"
+        rm -f "$off_cache"
+        off_log="$dir/perf_smoke_off.log"
+        NURAPID_DISTILL=0 NURAPID_SIM_SCALE=0.05 \
+            NURAPID_RUN_CACHE="$off_cache" \
+            sh scripts/regen_bench.sh "$dir" --quiet 2>&1 \
+            | tee "$off_log" | tail -n 1
+        # Sums a named footer bucket ("distill 0.123s" ...) over every
+        # [profile] line in a log.
+        bucket_sum() {
+            grep '^\[profile\]' "$1" | awk -v key="$2" '
+                { for (i = 1; i < NF; i++)
+                      if ($i == key) { v = $(i + 1); sub(/s$/, "", v);
+                                       s += v } }
+                END { printf "%.3f", s }'
+        }
+        distill_s=$(bucket_sum "$smoke_log" distill)
+        core_on_s=$(bucket_sum "$smoke_log" core)
+        core_off_s=$(bucket_sum "$off_log" core)
+        echo "perf smoke: distill ${distill_s}s," \
+             "core ${core_on_s}s (distilled) vs ${core_off_s}s (live)"
+        awk -v d="$distill_s" 'BEGIN { exit !(d > 0) }' || {
+            echo "perf smoke: no Distill bucket in the profile" >&2
+            exit 1
+        }
+        awk -v on="$core_on_s" -v off="$core_off_s" \
+            'BEGIN { exit !(on < off) }' || {
+            echo "perf smoke: distilled core bucket (${core_on_s}s) did" \
+                 "not shrink vs live (${core_off_s}s)" >&2
             exit 1
         }
     fi

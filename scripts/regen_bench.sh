@@ -110,5 +110,15 @@ cat > "$sweep_json" <<EOF
 }
 EOF
 
+# Track the perf trajectory across PRs: a full-scale sweep's timing
+# summary is copied to the repo root (checked in). Scaled-down smokes
+# (check.sh runs with NURAPID_SIM_SCALE=0.05) stay in the build dir so
+# they never clobber the tracked numbers.
+if [ "${NURAPID_SIM_SCALE:-1}" = "1" ]; then
+    repo_root=$(cd "$(dirname "$0")/.." && pwd)
+    cp "$sweep_json" "$repo_root/BENCH_sweep.json"
+    echo "regen-bench: timings copied to $repo_root/BENCH_sweep.json"
+fi
+
 echo "regen-bench: full sweep in $((total_ms / 1000)) s ($total_ms ms," \
      "$unique_configs unique configs; timings in $sweep_json)"

@@ -9,6 +9,7 @@ BranchPredictor::BranchPredictor(std::uint32_t entries,
                                  std::uint32_t history_bits)
     : mask(entries - 1),
       historyMask((std::uint32_t{1} << history_bits) - 1),
+      histBits(history_bits),
       gshare(entries, 1), bimodal(entries, BimodalEntry{1, 2}),
       statGroup("bpred")
 {

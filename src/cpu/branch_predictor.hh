@@ -60,6 +60,20 @@ class BranchPredictor
     StatGroup &stats() { return statGroup; }
     void resetStats() { statGroup.resetAll(); }
 
+    /** Folds @p predictions (of which @p mispredicts were wrong) into
+     *  the counters without touching the tables — the distilled-replay
+     *  path (trace/distilled_trace.hh) accounts for branches whose
+     *  outcome was precomputed. */
+    void
+    foldStats(std::uint64_t predictions, std::uint64_t mispredicts)
+    {
+        statPredictions += predictions;
+        statMispredicts += mispredicts;
+    }
+
+    std::uint32_t entries() const { return mask + 1; }
+    std::uint32_t historyBits() const { return histBits; }
+
   private:
     static bool counterTaken(std::uint8_t c) { return c >= 2; }
 
@@ -93,6 +107,7 @@ class BranchPredictor
 
     std::uint32_t mask;
     std::uint32_t historyMask;
+    std::uint32_t histBits;
     std::uint32_t history = 0;
     std::vector<std::uint8_t> gshare;
     std::vector<BimodalEntry> bimodal;

@@ -28,6 +28,7 @@
 #include <cstdint>
 
 #include "common/fixed_ring.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cpu/branch_predictor.hh"
@@ -35,6 +36,7 @@
 #include "mem/mshr.hh"
 #include "mem/set_assoc_cache.hh"
 #include "sim/profile/profile.hh"
+#include "trace/distilled_trace.hh"
 #include "trace/record.hh"
 
 namespace nurapid {
@@ -92,6 +94,23 @@ class OooCore
     void runTyped(LowerT &lower_mem, TraceT &trace,
                   std::uint64_t records);
 
+    /**
+     * Replays @p records records of a distilled stream (must have been
+     * distilled against this core's L1 organizations and predictor
+     * configuration — System keys the stream by them). Only L2-relevant
+     * events touch the machine; the L1 tag walk and predictor tables
+     * are skipped entirely, with their counter effects folded in from
+     * the event deltas. The replayed segment must end on one of the
+     * stream's cuts so folded counters are exact at the stop record.
+     * Bit-identical to runTyped over the same records (asserted by
+     * tests/test_distilled_trace.cc); @p cur advances past the segment.
+     */
+    template <class LowerT>
+    void runDistilled(LowerT &lower_mem, DistilledTrace::Cursor &cur,
+                      std::uint64_t records);
+
+    const CoreParams &params() const { return p; }
+
     /** Cycles elapsed since the last resetStats() (incl. drain). */
     std::uint64_t cycles() const;
     std::uint64_t instructions() const { return insts - instBase; }
@@ -143,6 +162,14 @@ class OooCore
     template <class LowerT>
     Cycles missLatency(LowerT &lower_mem, Addr addr, AccessType type,
                        Cycle now);
+
+    /** Everything after an L1 miss is detected: miss counters, the L2
+     *  access, completion bookkeeping, and the LSQ/window/dependence
+     *  side effects. Shared verbatim between runTyped and runDistilled
+     *  so the two paths cannot drift. */
+    template <class LowerT>
+    void missPath(LowerT &lower_mem, Addr addr, bool store, bool ifetch,
+                  bool latency_critical, Cycle now);
 
     CoreParams p;
     SetAssocCache &l1i;
@@ -212,6 +239,55 @@ OooCore::missLatency(LowerT &lower_mem, Addr addr, AccessType type,
     return total;
 }
 
+template <class LowerT>
+void
+OooCore::missPath(LowerT &lower_mem, Addr addr, bool store, bool ifetch,
+                  bool latency_critical, Cycle now)
+{
+    if (ifetch)
+        ++statL1IMisses;
+    else
+        ++statL1DMisses;
+
+    const AccessType type = store ? AccessType::Write : AccessType::Read;
+    const Cycles lat = missLatency(lower_mem, addr, type, now);
+    const Cycle completion = now + lat;
+    lastCompletion = std::max(lastCompletion, completion);
+
+    // Latency-critical loads feed consumers immediately: only a
+    // small slack of independent work hides their latency.
+    if (latency_critical && !store && !ifetch &&
+        completion > now + p.consumer_slack) {
+        const double resume =
+            static_cast<double>(completion - p.consumer_slack);
+        if (resume > cycleF) {
+            cycleF = resume;
+            ++statCriticalStalls;
+        }
+    }
+
+    if (store) {
+        // Stores retire through the LSQ without blocking dispatch
+        // unless the queue fills.
+        pendingStores.push_back(completion);
+        while (!pendingStores.empty() &&
+               pendingStores.front() <= static_cast<Cycle>(cycleF)) {
+            pendingStores.pop_front();
+        }
+        if (pendingStores.size() > p.lsq_entries) {
+            cycleF = std::max(
+                cycleF, static_cast<double>(pendingStores.front()));
+            pendingStores.pop_front();
+            ++statLsqStalls;
+        }
+    } else {
+        // Loads (and ifetches) hold the window.
+        pendingLoads.push_back({instIndex, completion});
+        if (!ifetch)
+            lastMissCompletion = completion;
+    }
+}
+
 template <class LowerT, class TraceT>
 void
 OooCore::runTyped(LowerT &lower_mem, TraceT &trace, std::uint64_t records)
@@ -259,49 +335,96 @@ OooCore::runTyped(LowerT &lower_mem, TraceT &trace, std::uint64_t records)
         if (a.hit)
             continue;
 
-        if (ifetch)
-            ++statL1IMisses;
-        else
-            ++statL1DMisses;
+        missPath(lower_mem, r.addr, store, ifetch, r.latency_critical,
+                 now);
+    }
+}
 
-        const AccessType type =
-            store ? AccessType::Write : AccessType::Read;
-        const Cycles lat = missLatency(lower_mem, r.addr, type, now);
-        const Cycle completion = now + lat;
-        lastCompletion = std::max(lastCompletion, completion);
+template <class LowerT>
+void
+OooCore::runDistilled(LowerT &lower_mem, DistilledTrace::Cursor &cur,
+                      std::uint64_t records)
+{
+    using DT = DistilledTrace;
+    const std::uint64_t stop = cur.pos + records;
+    const std::uint16_t *const gaps = cur.gaps;
 
-        // Latency-critical loads feed consumers immediately: only a
-        // small slack of independent work hides their latency.
-        if (r.latency_critical && !store && !ifetch &&
-            completion > now + p.consumer_slack) {
-            const double resume =
-                static_cast<double>(completion - p.consumer_slack);
-            if (resume > cycleF) {
-                cycleF = resume;
-                ++statCriticalStalls;
-            }
+    while (cur.pos < stop) {
+        panic_if(cur.ev == cur.ev_end,
+                 "distilled events drained before the stop record — "
+                 "replay must end on one of the stream's cuts");
+        const DT::Event &e = *cur.ev++;
+        const std::uint64_t erec = e.rec;
+        panic_if(erec >= stop,
+                 "distilled event past the stop record — replay must "
+                 "end on one of the stream's cuts");
+
+        // Inert records [cur.pos, erec): all L1 hits with correctly
+        // predicted branches and no stall of any kind. Only the
+        // dispatch clock (whose per-record FP addition order must be
+        // preserved), the instruction indices, and the window walk
+        // advance; the L1 tag/LRU walk and predictor tables fold away.
+        for (std::uint64_t k = cur.pos; k < erec; ++k) {
+            insts += gaps[k] + 1;
+            instIndex += gaps[k] + 1;
+            cycleF += (gaps[k] + 1) * dispatchCpi;
+            enforceWindow();
+        }
+        const auto inert = static_cast<std::uint32_t>(erec - cur.pos);
+        cur.pos = erec + 1;
+
+        statL1IAccesses += e.d_l1i;
+        statL1DAccesses += inert - e.d_l1i;
+        l1i.foldStats(e.d_l1i, 0, 0, 0);
+        l1d.foldStats(inert - e.d_l1i, 0, 0, 0);
+        bpred.foldStats(e.d_bp_pred, 0);
+
+        // The event record itself, replayed in live-loop order.
+        const std::uint16_t f = e.flags;
+        insts += gaps[erec] + 1;
+        instIndex += gaps[erec] + 1;
+        cycleF += (gaps[erec] + 1) * dispatchCpi;
+
+        if (f & DT::kHasBranch) {
+            bpred.foldStats(1, (f & DT::kMispredict) ? 1 : 0);
+            if (f & DT::kMispredict)
+                cycleF += p.mispredict_penalty;
         }
 
-        if (store) {
-            // Stores retire through the LSQ without blocking dispatch
-            // unless the queue fills.
-            pendingStores.push_back(completion);
-            while (!pendingStores.empty() &&
-                   pendingStores.front() <=
-                       static_cast<Cycle>(cycleF)) {
-                pendingStores.pop_front();
+        enforceWindow();
+
+        const bool ifetch = (f & DT::kIfetch) != 0;
+        const bool store = (f & DT::kStore) != 0;
+
+        // Dependence check: the distiller keeps only the first
+        // dependent load after each deep-load completion update (later
+        // checks in the same epoch are no-ops — the dispatch clock is
+        // monotonic), so this fires exactly when the live loop's would.
+        if (f & DT::kDepCheck) {
+            if (static_cast<double>(lastMissCompletion) > cycleF) {
+                cycleF = static_cast<double>(lastMissCompletion);
+                ++statDepStalls;
             }
-            if (pendingStores.size() > p.lsq_entries) {
-                cycleF = std::max(
-                    cycleF, static_cast<double>(pendingStores.front()));
-                pendingStores.pop_front();
-                ++statLsqStalls;
+        }
+        const auto now = static_cast<Cycle>(cycleF);
+        if (ifetch)
+            ++statL1IAccesses;
+        else
+            ++statL1DAccesses;
+
+        if (f & DT::kL1Miss) {
+            (ifetch ? l1i : l1d)
+                .foldStats(0, 1, (f & DT::kL1Evict) ? 1 : 0,
+                           (f & DT::kWriteback) ? 1 : 0);
+            if (f & DT::kWriteback) {
+                NURAPID_PROFILE_SCOPE(L2Org);
+                lower_mem.access(e.evicted_addr, AccessType::Writeback,
+                                 now);
             }
+            missPath(lower_mem, e.addr, store, ifetch,
+                     (f & DT::kLatencyCritical) != 0, now);
         } else {
-            // Loads (and ifetches) hold the window.
-            pendingLoads.push_back({instIndex, completion});
-            if (!ifetch)
-                lastMissCompletion = completion;
+            (ifetch ? l1i : l1d).foldStats(1, 0, 0, 0);
         }
     }
 }

@@ -57,6 +57,15 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
 
     cacheEnergy += is_write ? l2Timing.write_nj : l2Timing.read_nj;
     auto r2 = l2Cache.access(addr, is_write);
+    // The demand L3 lookup logically precedes the victim writeback: if
+    // the victim's allocation below displaces the demanded block from
+    // its shared L3 set, the block was still resident when the lookup
+    // started, so the access must resolve as an L3 hit. Capture that
+    // residency before the push; the miss-path probe then re-allocates
+    // the block MRU, which is the state a lookup-first ordering leaves.
+    const bool l3_resident_at_lookup =
+        !r2.hit && r2.evicted && r2.evicted_dirty &&
+        l3Cache.contains(addr);
     if (r2.evicted && r2.evicted_dirty) {
         // Non-inclusive hierarchy: L2 victims are allocated into L3.
         cacheEnergy += l3Timing.write_nj;
@@ -86,7 +95,7 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
     } else if (r3.evicted && r3.evicted_dirty) {
         mem.write(p.l3.block_bytes);
     }
-    if (r3.hit) {
+    if (r3.hit || l3_resident_at_lookup) {
         ++statL3Hits;
         regionHist.sample(1);
         // The L3 probe overlaps the tail of the L2 lookup (pipelined

@@ -108,6 +108,20 @@ class SetAssocCache
     std::uint64_t misses() const { return statMisses.value(); }
     double missRatio() const;
 
+    /** Folds precomputed access outcomes into the counters without
+     *  touching the tag or replacement state — the distilled-replay
+     *  path (trace/distilled_trace.hh) already ran this cache over the
+     *  stream once at distillation time. */
+    void
+    foldStats(std::uint64_t fold_hits, std::uint64_t fold_misses,
+              std::uint64_t fold_evictions, std::uint64_t fold_writebacks)
+    {
+        statHits += fold_hits;
+        statMisses += fold_misses;
+        statEvictions += fold_evictions;
+        statWritebacks += fold_writebacks;
+    }
+
     /** Set index of an address (exposed for hot-set analyses). Block
      *  size and set count are enforced powers of two, so the index
      *  math is shifts — no per-access integer division. */

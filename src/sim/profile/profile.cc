@@ -16,7 +16,7 @@ std::atomic<std::uint64_t> buckets[kBuckets];
 std::once_flag footer_armed;
 
 const char *const kNames[kBuckets] = {
-    "trace-gen", "core", "l2-org", "stats",
+    "trace-gen", "distill", "core", "l2-org", "stats",
 };
 
 double
@@ -41,13 +41,16 @@ printFooter()
         static_cast<unsigned>(Bucket::L2Org)].load();
     const std::uint64_t gen = buckets[
         static_cast<unsigned>(Bucket::TraceGen)].load();
+    const std::uint64_t distill = buckets[
+        static_cast<unsigned>(Bucket::Distill)].load();
     const std::uint64_t stats = buckets[
         static_cast<unsigned>(Bucket::Stats)].load();
-    const double attributed = secs(gen + core + stats);
+    const double attributed = secs(gen + distill + core + stats);
     std::fprintf(stderr,
-                 "[profile] trace-gen %.3fs | core %.3fs (l2-org %.3fs, "
-                 "%.1f%%) | stats %.3fs | attributed %.3fs\n",
-                 secs(gen), secs(core), secs(l2),
+                 "[profile] trace-gen %.3fs | distill %.3fs | core %.3fs "
+                 "(l2-org %.3fs, %.1f%%) | stats %.3fs | "
+                 "attributed %.3fs\n",
+                 secs(gen), secs(distill), secs(core), secs(l2),
                  core ? 100.0 * l2 / core : 0.0, secs(stats), attributed);
 }
 

@@ -6,6 +6,7 @@
  * measured, not asserted:
  *
  *   trace-gen  pre-generating packed workload streams (trace/)
+ *   distill    building/loading distilled L2-event streams (trace/)
  *   core       the warmup/measure loop (cpu/ + L1s + replay)
  *   l2-org     LowerMemory::access calls made from that loop
  *              (a subset of the core bucket, reported separately)
@@ -29,6 +30,7 @@ namespace prof {
 
 enum class Bucket : unsigned {
     TraceGen,
+    Distill,
     Core,
     L2Org,
     Stats,

@@ -99,15 +99,57 @@ System::System(const OrgSpec &org, const WorkloadProfile &profile,
         packed = sharedPackedTrace(
             profile, length.warmup_records + length.measure_records);
     }
+    const std::uint64_t total =
+        length.warmup_records + length.measure_records;
+    if (packed && total > 0 && distillEnabled()) {
+        // The cuts are the segment boundaries runAll()'s phases stop
+        // at; folded counters are exact there, so resetStats() between
+        // warmup and measure sees the same state as the live loop.
+        std::vector<std::uint64_t> cuts;
+        if (length.warmup_records > 0 && length.warmup_records < total)
+            cuts.push_back(length.warmup_records);
+        cuts.push_back(total);
+
+        DistillParams dp;
+        dp.l1i = l1iCache.org();
+        dp.l1d = l1dCache.org();
+        dp.bp_entries = coreModel->branchPredictor().entries();
+        dp.bp_history_bits = coreModel->branchPredictor().historyBits();
+        dp.mshr_block_bytes = coreModel->params().mshr_block_bytes;
+        distilled = sharedDistilledTrace(profile, total, cuts, dp);
+        dcur = distilled->cursor();
+    }
 }
 
 void
 System::runRecords(std::uint64_t records)
 {
+    if (records == 0)
+        return;
     if (!packed) {
         NURAPID_PROFILE_SCOPE(Core);
         coreModel->run(trace, records);
         return;
+    }
+    if (distilled) {
+        const std::uint64_t end = consumed + records;
+        if (end <= distilled->size() && distilled->isCut(end)) {
+            NURAPID_PROFILE_SCOPE(Core);
+            withConcreteOrg(*lowerMem, spec.kind, [&](auto &org) {
+                coreModel->runDistilled(org, dcur, records);
+            });
+            consumed = end;
+            return;
+        }
+        // A custom phase schedule that does not land on the distilled
+        // cuts: before anything has replayed, fall back to the live
+        // loop wholesale; afterwards the L1/predictor tables are stale
+        // and no correct continuation exists.
+        panic_if(consumed != 0,
+                 "segment end %llu is not a distillation cut; set "
+                 "NURAPID_DISTILL=0 for custom phase schedules",
+                 static_cast<unsigned long long>(end));
+        distilled.reset();
     }
     if (consumed + records > packed->size())
         packed = sharedPackedTrace(prof, consumed + records);

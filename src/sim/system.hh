@@ -14,6 +14,7 @@
 #include "cpu/ooo_core.hh"
 #include "energy/energy_model.hh"
 #include "sim/config.hh"
+#include "trace/distilled_trace.hh"
 #include "trace/packed_trace.hh"
 #include "trace/synthetic.hh"
 
@@ -72,6 +73,7 @@ class System
 
     OooCore &core() { return *coreModel; }
     LowerMemory &lower() { return *lowerMem; }
+    SetAssocCache &l1i() { return l1iCache; }
     SetAssocCache &l1d() { return l1dCache; }
 
   private:
@@ -92,6 +94,13 @@ class System
      *  and the count of records this system has consumed from it. */
     std::shared_ptr<const PackedTrace> packed;
     std::uint64_t consumed = 0;
+    /** Shared distilled L2-event stream (null when distillation is
+     *  off) and this system's replay position in it. Once any segment
+     *  has replayed distilled, the L1/predictor tables are stale, so
+     *  every later segment must replay distilled too — runRecords
+     *  panics on a segment that does not end on a distillation cut. */
+    std::shared_ptr<const DistilledTrace> distilled;
+    DistilledTrace::Cursor dcur;
     ProcessorEnergyParams energyParams;
     double wallSeconds = 0;  //!< set by runAll()
 };

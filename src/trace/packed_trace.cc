@@ -149,9 +149,10 @@ recordsOffset(std::uint64_t key_bytes)
     return (raw + 15) & ~std::size_t{15};
 }
 
-/** Canonical fingerprint of (generator version, profile, seed mix). */
+} // namespace
+
 Fingerprint
-traceFingerprint(const WorkloadProfile &p, std::uint64_t seed_mix)
+packedTraceFingerprint(const WorkloadProfile &p, std::uint64_t seed_mix)
 {
     Fingerprint fp;
     fp.field("format", kTraceFormatVersion);
@@ -185,6 +186,8 @@ traceFingerprint(const WorkloadProfile &p, std::uint64_t seed_mix)
     return fp;
 }
 
+namespace {
+
 /** Empty when the disk cache is disabled. */
 std::string
 traceCacheDir()
@@ -213,7 +216,7 @@ loadPackedFile(const WorkloadProfile &profile, std::uint64_t records,
     if (dir.empty())
         return nullptr;
 
-    const Fingerprint fp = traceFingerprint(profile, seed_mix);
+    const Fingerprint fp = packedTraceFingerprint(profile, seed_mix);
     const std::string path = traceFilePath(dir, profile, fp);
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
@@ -264,7 +267,7 @@ storePackedFile(const PackedTrace &trace)
         return;
 
     const Fingerprint fp =
-        traceFingerprint(trace.profile(), trace.seedMix());
+        packedTraceFingerprint(trace.profile(), trace.seedMix());
     const std::string path =
         traceFilePath(dir, trace.profile(), fp);
     char suffix[32];

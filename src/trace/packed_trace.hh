@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/fingerprint.hh"
 #include "trace/synthetic.hh"
 
 namespace nurapid {
@@ -196,6 +197,12 @@ sharedPackedTrace(const WorkloadProfile &profile, std::uint64_t records,
 
 /** Drops registry entries no one else holds; returns entries freed. */
 std::size_t dropUnusedPackedTraces();
+
+/** Canonical fingerprint of (generator version, profile, seed mix) —
+ *  the disk-cache key of a packed stream, also embedded in derived
+ *  caches (distilled streams) so they inherit trace invalidation. */
+Fingerprint packedTraceFingerprint(const WorkloadProfile &profile,
+                                   std::uint64_t seed_mix);
 
 /** False when NURAPID_TRACE_PREGEN=0 disables pre-generation. */
 bool packedTraceEnabled();

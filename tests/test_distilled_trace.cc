@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Distilled-trace tests: replaying the precomputed L2-event stream
+ * must be bit-identical to the live per-record loop — same RunMetrics
+ * and same statistics, for every workload profile and every
+ * organization kind (this is the guarantee that lets the sweep skip
+ * the org-independent work 18 times over). Also covers the disk
+ * round-trip, fingerprint invalidation, and the NURAPID_DISTILL=0
+ * fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/runner/run_engine.hh"
+#include "sim/system.hh"
+#include "trace/distilled_trace.hh"
+#include "trace/profiles.hh"
+
+namespace nurapid {
+namespace {
+
+/** The five organization kinds, one preset each. */
+std::vector<OrgSpec>
+oneOrgPerKind()
+{
+    return {OrgSpec::baseline(), OrgSpec::dnucaSsPerformance(),
+            OrgSpec::snucaDefault(), OrgSpec::nurapidDefault(),
+            OrgSpec::coupledSA()};
+}
+
+/** Runs (org, prof, len) once with distillation forced on or off and
+ *  returns the metrics plus every statistic the replay folds. */
+struct Observed
+{
+    RunMetrics metrics;
+    std::string core_stats;
+    std::string l1i_stats;
+    std::string l1d_stats;
+    std::string bpred_stats;
+    std::string lower_stats;
+};
+
+Observed
+observe(const OrgSpec &org, const WorkloadProfile &prof,
+        const SimLength &len, bool distill)
+{
+    ::setenv("NURAPID_DISTILL", distill ? "1" : "0", 1);
+    System sys(org, prof, len);
+    Observed o;
+    o.metrics = sys.runAll();
+    o.core_stats = sys.core().stats().dump();
+    o.l1i_stats = sys.l1i().stats().dump();
+    o.l1d_stats = sys.l1d().stats().dump();
+    o.bpred_stats = sys.core().branchPredictor().stats().dump();
+    o.lower_stats = sys.lower().stats().dump();
+    ::unsetenv("NURAPID_DISTILL");
+    return o;
+}
+
+void
+expectSameObservation(const Observed &live, const Observed &distilled,
+                      const std::string &what)
+{
+    EXPECT_TRUE(identicalMetrics(live.metrics, distilled.metrics))
+        << what << ": metrics diverged (ipc " << live.metrics.ipc
+        << " vs " << distilled.metrics.ipc << ", cycles "
+        << live.metrics.cycles << " vs " << distilled.metrics.cycles
+        << ")";
+    EXPECT_EQ(live.core_stats, distilled.core_stats) << what;
+    EXPECT_EQ(live.l1i_stats, distilled.l1i_stats) << what;
+    EXPECT_EQ(live.l1d_stats, distilled.l1d_stats) << what;
+    EXPECT_EQ(live.bpred_stats, distilled.bpred_stats) << what;
+    EXPECT_EQ(live.lower_stats, distilled.lower_stats) << what;
+    EXPECT_GT(distilled.metrics.instructions, 0u) << what;
+}
+
+TEST(DistilledTrace, ReplayMatchesLiveLoopForEveryWorkload)
+{
+    // Every workload profile, cycling through the five organization
+    // kinds so each kind sees several workloads.
+    const SimLength len{20'000, 60'000};
+    const std::vector<OrgSpec> orgs = oneOrgPerKind();
+    std::size_t i = 0;
+    for (const WorkloadProfile &prof : workloadSuite()) {
+        const OrgSpec &org = orgs[i++ % orgs.size()];
+        const Observed live = observe(org, prof, len, false);
+        const Observed dist = observe(org, prof, len, true);
+        expectSameObservation(live, dist,
+                              prof.name + " / " + org.description());
+    }
+}
+
+TEST(DistilledTrace, ReplayMatchesLiveLoopForEveryOrganizationKind)
+{
+    // One memory-intensive workload against all five kinds: the replay
+    // must agree on every org-dependent path (search, migration,
+    // writeback handling) too.
+    const SimLength len{25'000, 75'000};
+    const WorkloadProfile prof = findProfile("mcf");
+    for (const OrgSpec &org : oneOrgPerKind()) {
+        const Observed live = observe(org, prof, len, false);
+        const Observed dist = observe(org, prof, len, true);
+        expectSameObservation(live, dist,
+                              prof.name + " / " + org.description());
+    }
+}
+
+TEST(DistilledTrace, FallbackMatchesWhenDisabled)
+{
+    ::setenv("NURAPID_DISTILL", "0", 1);
+    EXPECT_FALSE(distillEnabled());
+    ::unsetenv("NURAPID_DISTILL");
+    EXPECT_TRUE(distillEnabled());
+
+    // Disabled and enabled runs of the same config agree (the
+    // fallback is the live loop the replay is tested against).
+    const SimLength len{10'000, 30'000};
+    const WorkloadProfile prof = findProfile("gzip");
+    const Observed off = observe(OrgSpec::nurapidDefault(), prof, len,
+                                 false);
+    const Observed on = observe(OrgSpec::nurapidDefault(), prof, len,
+                                true);
+    expectSameObservation(off, on, "NURAPID_DISTILL fallback");
+}
+
+TEST(DistilledTrace, DiskRoundTripIsBitIdentical)
+{
+    // A distinct seed mix keeps this test's registry entries and cache
+    // files disjoint from every other test in the binary.
+    constexpr std::uint64_t kMix = 77;
+    constexpr std::uint64_t kRecords = 6'000;
+    const std::vector<std::uint64_t> cuts{2'000, kRecords};
+    const WorkloadProfile prof = findProfile("swim");
+    DistillParams params;
+    params.l1i = l1iOrg();
+    params.l1d = l1dOrg();
+
+    std::string dir = ::testing::TempDir() + "nurapid_distill_XXXXXX";
+    ASSERT_NE(::mkdtemp(dir.data()), nullptr);
+    ::setenv("NURAPID_TRACE_CACHE_DIR", dir.c_str(), 1);
+
+    auto generated =
+        sharedDistilledTrace(prof, kRecords, cuts, params, kMix);
+    ASSERT_NE(generated, nullptr);
+    EXPECT_FALSE(generated->fromFile());
+    ASSERT_EQ(generated->size(), kRecords);
+    ASSERT_GT(generated->eventCount(), 0u);
+    EXPECT_TRUE(generated->isCut(2'000));
+    EXPECT_TRUE(generated->isCut(kRecords));
+    EXPECT_FALSE(generated->isCut(1'000));
+
+    // Keep copies, drop the in-memory entry, and force a file load.
+    const std::vector<std::uint16_t> gaps(
+        generated->gapData(), generated->gapData() + generated->size());
+    const std::vector<DistilledTrace::Event> events(
+        generated->eventData(),
+        generated->eventData() + generated->eventCount());
+    generated.reset();
+    dropUnusedDistilledTraces();
+
+    auto loaded = sharedDistilledTrace(prof, kRecords, cuts, params, kMix);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_TRUE(loaded->fromFile())
+        << "second process-equivalent request should load from disk";
+    ASSERT_EQ(loaded->size(), kRecords);
+    ASSERT_EQ(loaded->eventCount(), events.size());
+    EXPECT_EQ(loaded->cutList(), cuts);
+    EXPECT_EQ(std::memcmp(loaded->gapData(), gaps.data(),
+                          gaps.size() * sizeof(gaps[0])), 0);
+    EXPECT_EQ(std::memcmp(loaded->eventData(), events.data(),
+                          events.size() * sizeof(events[0])), 0);
+
+    ::unsetenv("NURAPID_TRACE_CACHE_DIR");
+}
+
+TEST(DistilledTrace, FingerprintChangesWithEveryKeyedParameter)
+{
+    const WorkloadProfile prof = findProfile("art");
+    const std::vector<std::uint64_t> cuts{1'000, 4'000};
+    DistillParams base;
+    base.l1i = l1iOrg();
+    base.l1d = l1dOrg();
+    const std::string key =
+        distillFingerprint(prof, 0, 4'000, cuts, base).key();
+
+    auto differs = [&](const DistillParams &p, const char *what) {
+        EXPECT_NE(distillFingerprint(prof, 0, 4'000, cuts, p).key(), key)
+            << what << " must invalidate the fingerprint";
+    };
+
+    DistillParams p = base;
+    p.l1d.capacity_bytes *= 2;
+    differs(p, "L1D capacity");
+    p = base;
+    p.l1d.assoc *= 2;
+    differs(p, "L1D associativity");
+    p = base;
+    p.l1i.block_bytes *= 2;
+    differs(p, "L1I block size");
+    p = base;
+    p.l1d.repl = ReplPolicy::Random;
+    differs(p, "L1D replacement policy");
+    p = base;
+    p.l1d.repl_seed += 1;
+    differs(p, "L1D replacement seed");
+    p = base;
+    p.bp_entries *= 2;
+    differs(p, "predictor entries");
+    p = base;
+    p.bp_history_bits += 1;
+    differs(p, "predictor history bits");
+    p = base;
+    p.mshr_block_bytes *= 4;
+    differs(p, "MSHR sector size");
+
+    // Trace identity and segment cuts are keyed too.
+    EXPECT_NE(distillFingerprint(prof, 1, 4'000, cuts, base).key(), key)
+        << "seed mix must invalidate the fingerprint";
+    EXPECT_NE(distillFingerprint(prof, 0, 5'000,
+                                 {1'000, 5'000}, base).key(), key)
+        << "record count must invalidate the fingerprint";
+    EXPECT_NE(distillFingerprint(prof, 0, 4'000, {4'000}, base).key(),
+              key)
+        << "segment cuts must invalidate the fingerprint";
+    const WorkloadProfile other = findProfile("mcf");
+    EXPECT_NE(distillFingerprint(other, 0, 4'000, cuts, base).key(), key)
+        << "workload must invalidate the fingerprint";
+}
+
+TEST(DistilledTrace, EventStreamFoldsTheInertMajority)
+{
+    // The point of distillation: events are a small fraction of the
+    // records (L1 miss + mispredict + dep-check + cut rate).
+    constexpr std::uint64_t kMix = 78;
+    constexpr std::uint64_t kRecords = 50'000;
+    DistillParams params;
+    params.l1i = l1iOrg();
+    params.l1d = l1dOrg();
+    const WorkloadProfile prof = findProfile("gzip");
+    auto t = sharedDistilledTrace(prof, kRecords, {kRecords}, params,
+                                  kMix);
+    ASSERT_NE(t, nullptr);
+    EXPECT_LT(t->eventCount(), kRecords / 2)
+        << "distillation folded almost nothing";
+    // Events are strictly ordered and end on the forced cut record.
+    const DistilledTrace::Event *ev = t->eventData();
+    for (std::uint64_t i = 1; i < t->eventCount(); ++i)
+        ASSERT_GT(ev[i].rec, ev[i - 1].rec) << "event " << i;
+    EXPECT_EQ(ev[t->eventCount() - 1].rec, kRecords - 1)
+        << "an event must be forced at the final cut record";
+}
+
+} // namespace
+} // namespace nurapid
