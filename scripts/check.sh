@@ -65,6 +65,56 @@ for config in $configs; do
         echo "=== [$config] ctest -L tier1 (NURAPID_DISTILL=0) ==="
         (cd "$dir" && NURAPID_DISTILL=0 ctest -L tier1 -j "$jobs" \
             --output-on-failure | tail -n 3)
+
+        echo "=== [$config] obs smoke (flight recorder + report) ==="
+        obs_dir="$dir/obs_smoke"
+        rm -rf "$obs_dir"
+        mkdir -p "$obs_dir"
+        NURAPID_SIM_SCALE=0.05 "$dir/src/tools/nurapid_sim" \
+            --org nurapid --benchmark mcf --obs-interval 8192 \
+            --trace-out "$obs_dir/events.jsonl" \
+            --metrics-out "$obs_dir/metrics.jsonl" \
+            --perfetto-out "$obs_dir/trace.json" > "$obs_dir/sim.log"
+        for f in events.jsonl metrics.jsonl trace.json; do
+            [ -s "$obs_dir/$f" ] || {
+                echo "obs smoke: $f missing or empty" >&2; exit 1; }
+        done
+        # nurapid_report re-parses both JSONL files with the in-tree
+        # JSON parser and exits non-zero on any unparseable line.
+        "$dir/src/tools/nurapid_report" "$obs_dir/metrics.jsonl" \
+            --events "$obs_dir/events.jsonl" > "$obs_dir/report.log"
+        grep -q 'per-epoch timelines' "$obs_dir/report.log" || {
+            echo "obs smoke: report printed no timelines" >&2; exit 1; }
+        grep -q 'hit distribution' "$obs_dir/report.log" || {
+            echo "obs smoke: report printed no distribution table" >&2
+            exit 1; }
+
+        # Observability must not perturb the simulation and observed
+        # runs must never seed the run cache: a fresh-cache suite, an
+        # observed suite (which bypasses the cache), and a second
+        # fresh-cache suite must leave bit-identical caches modulo
+        # wall-clock.
+        echo "=== [$config] obs-off determinism (run-cache identity) ==="
+        NURAPID_SIM_SCALE=0.02 NURAPID_RUN_CACHE="$obs_dir/cache_a.json" \
+            "$dir/src/tools/nurapid_sim" --org dnuca --suite \
+            > /dev/null
+        NURAPID_SIM_SCALE=0.02 NURAPID_RUN_CACHE="$obs_dir/cache_b.json" \
+            "$dir/src/tools/nurapid_sim" --org dnuca --suite \
+            --metrics-out "$obs_dir/suite_metrics.jsonl" > /dev/null
+        [ -s "$obs_dir/suite_metrics.applu.jsonl" ] || {
+            echo "obs: suite run wrote no per-workload metrics" >&2
+            exit 1; }
+        NURAPID_SIM_SCALE=0.02 NURAPID_RUN_CACHE="$obs_dir/cache_b.json" \
+            "$dir/src/tools/nurapid_sim" --org dnuca --suite \
+            > /dev/null
+        strip_wall() {
+            sed 's/"wall_seconds":[-0-9.eE+]*/"wall_seconds":0/g' "$1"
+        }
+        strip_wall "$obs_dir/cache_a.json" > "$obs_dir/cache_a.norm"
+        strip_wall "$obs_dir/cache_b.json" > "$obs_dir/cache_b.norm"
+        cmp -s "$obs_dir/cache_a.norm" "$obs_dir/cache_b.norm" || {
+            echo "obs: run cache diverged around an observed suite" >&2
+            exit 1; }
     fi
 
     echo "=== [$config] fuzz smoke ($fuzz_iters iters, audits on) ==="

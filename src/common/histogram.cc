@@ -52,6 +52,32 @@ Histogram::fraction(std::size_t bucket) const
         static_cast<double>(totalCount);
 }
 
+std::size_t
+Histogram::percentileBucket(double q) const
+{
+    if (totalCount == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the sample the percentile asks for, 1-based; q = 0 still
+    // needs the first sample, hence the max with 1.
+    const double exact = q * static_cast<double>(totalCount);
+    std::uint64_t rank = static_cast<std::uint64_t>(exact);
+    if (static_cast<double>(rank) < exact)
+        ++rank;
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        cumulative += counts[i];
+        if (cumulative >= rank)
+            return i;
+    }
+    return counts.empty() ? 0 : counts.size() - 1;
+}
+
 std::string
 Histogram::toString() const
 {

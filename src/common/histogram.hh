@@ -33,6 +33,14 @@ class Histogram
     /** Fraction of all samples that fell in @p bucket (0 if empty). */
     double fraction(std::size_t bucket) const;
 
+    /**
+     * Smallest bucket index whose cumulative count reaches fraction
+     * @p q (clamped to [0, 1]) of all samples; 0 for an empty
+     * histogram. q = 0.5 is the median bucket, q = 1.0 the highest
+     * non-empty bucket.
+     */
+    std::size_t percentileBucket(double q) const;
+
     /** "b0=12 (40.0%) b1=18 (60.0%)"-style rendering. */
     std::string toString() const;
 

@@ -2,12 +2,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 #include <vector>
 
 namespace nurapid {
 
 namespace {
 bool inform_enabled = true;
+bool warn_enabled = true;
 } // namespace
 
 std::string
@@ -61,10 +64,33 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (!warn_enabled)
+        return;
     std::va_list args;
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+warnOnce(const char *fmt, ...)
+{
+    if (!warn_enabled)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+
+    // Run-engine workers warn concurrently; the dedup set is shared.
+    static std::mutex mutex;
+    static std::set<std::string> *seen = new std::set<std::string>;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!seen->insert(msg).second)
+            return;
+    }
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
@@ -84,6 +110,12 @@ void
 setInformEnabled(bool enabled)
 {
     inform_enabled = enabled;
+}
+
+void
+setWarnEnabled(bool enabled)
+{
+    warn_enabled = enabled;
 }
 
 } // namespace nurapid

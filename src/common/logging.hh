@@ -26,11 +26,22 @@ namespace nurapid {
 /** Prints a "warn: ..." line to stderr. */
 void warn(const char *fmt, ...);
 
+/**
+ * Like warn(), but each distinct formatted message prints once per
+ * process. Use for knob/configuration warnings that would otherwise
+ * repeat once per run in a 267-config sweep. Thread-safe.
+ */
+void warnOnce(const char *fmt, ...);
+
 /** Prints an "info: ..." line to stdout. */
 void inform(const char *fmt, ...);
 
 /** Enable/disable inform() output (benchmarks silence it). */
 void setInformEnabled(bool enabled);
+
+/** Enable/disable warn()/warnOnce() output, the same switch the
+ *  benchmarks use for inform(). panic/fatal are never silenced. */
+void setWarnEnabled(bool enabled);
 
 /** printf-style formatting into a std::string. */
 std::string vstrprintf(const char *fmt, std::va_list args);

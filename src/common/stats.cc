@@ -59,6 +59,16 @@ StatGroup::hasCounter(const std::string &name) const
     return counterIndex.count(name) != 0;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+StatGroup::counterValues() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters.size());
+    for (const auto &[name, c] : counters)
+        out.emplace_back(name, c->value());
+    return out;
+}
+
 void
 StatGroup::resetAll()
 {

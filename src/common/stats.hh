@@ -88,6 +88,11 @@ class StatGroup
     /** True if a counter with @p name was registered. */
     bool hasCounter(const std::string &name) const;
 
+    /** Every counter's (name, value), in registration order — the
+     *  observability layer snapshots these at epoch boundaries. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    counterValues() const;
+
     /** Resets every registered statistic to zero. */
     void resetAll();
 

@@ -35,6 +35,7 @@
 #include "mem/lower_memory.hh"
 #include "mem/mshr.hh"
 #include "mem/set_assoc_cache.hh"
+#include "sim/obs/obs.hh"
 #include "sim/profile/profile.hh"
 #include "trace/distilled_trace.hh"
 #include "trace/record.hh"
@@ -126,6 +127,19 @@ class OooCore
     /** Zeroes timing/statistics state but keeps caches warm. */
     void resetStats();
 
+    /**
+     * Attaches the flight-recorder sink (for MSHR-stall events) and
+     * the interval recorder (ticked once per retired reference in
+     * runTyped and runDistilled alike; epoch boundaries land on the
+     * same record index in both paths). Either may be null.
+     */
+    void
+    attachObservability(EventSink *sink, IntervalRecorder *recorder)
+    {
+        obsSink = sink;
+        obsRec = recorder;
+    }
+
   private:
     struct Pending
     {
@@ -193,6 +207,10 @@ class OooCore
     FixedRing<Pending> pendingLoads;
     FixedRing<Cycle> pendingStores;
 
+    /** Flight-recorder hooks; null (the common case) when detached. */
+    EventSink *obsSink = nullptr;
+    IntervalRecorder *obsRec = nullptr;
+
     StatGroup statGroup;
     Counter statL1DAccesses;
     Counter statL1IAccesses;
@@ -223,6 +241,11 @@ OooCore::missLatency(LowerT &lower_mem, Addr addr, AccessType type,
     if (mshrs.full()) {
         // Structural stall: wait for the oldest fill.
         const Cycle ready = mshrs.nextRetirement();
+        if (obsSink) [[unlikely]] {
+            obsSink->mshrStall(
+                now, block,
+                ready > now ? static_cast<Cycles>(ready - now) : 0);
+        }
         cycleF = std::max(cycleF, static_cast<double>(ready));
         now = static_cast<Cycle>(cycleF);
         mshrs.retire(now);
@@ -332,11 +355,12 @@ OooCore::runTyped(LowerT &lower_mem, TraceT &trace, std::uint64_t records)
             NURAPID_PROFILE_SCOPE(L2Org);
             lower_mem.access(a.evicted_addr, AccessType::Writeback, now);
         }
-        if (a.hit)
-            continue;
-
-        missPath(lower_mem, r.addr, store, ifetch, r.latency_critical,
-                 now);
+        if (!a.hit) {
+            missPath(lower_mem, r.addr, store, ifetch,
+                     r.latency_critical, now);
+        }
+        if (obsRec) [[unlikely]]
+            obsRec->tick();
     }
 }
 
@@ -369,6 +393,8 @@ OooCore::runDistilled(LowerT &lower_mem, DistilledTrace::Cursor &cur,
             instIndex += gaps[k] + 1;
             cycleF += (gaps[k] + 1) * dispatchCpi;
             enforceWindow();
+            if (obsRec) [[unlikely]]
+                obsRec->tick();
         }
         const auto inert = static_cast<std::uint32_t>(erec - cur.pos);
         cur.pos = erec + 1;
@@ -426,6 +452,8 @@ OooCore::runDistilled(LowerT &lower_mem, DistilledTrace::Cursor &cur,
         } else {
             (ifetch ? l1i : l1d).foldStats(1, 0, 0, 0);
         }
+        if (obsRec) [[unlikely]]
+            obsRec->tick();
     }
 }
 

@@ -24,14 +24,14 @@ ConventionalL2L3::ConventionalL2L3(const SramMacroModel &model,
 LowerMemory::Result
 ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
 {
-    (void)now;  // uniform pipelined caches: no port modeling needed
-
     if (type == AccessType::Writeback) {
         // L1 dirty eviction: absorb into L2 (write-allocate), push any
         // L2 victim into L3. Off the critical path.
         Result result;
         result.latency = 0;
         result.hit = true;
+        if (obsSink) [[unlikely]]
+            obsSink->writeback(now, addr);
         cacheEnergy += l2Timing.write_nj;
         auto r = l2Cache.access(addr, /*is_write=*/true);
         if (r.evicted && r.evicted_dirty) {
@@ -40,13 +40,14 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
             if (r3.evicted && !l2Cache.contains(r3.evicted_addr)) {
                 // The L3 victim leaves the hierarchy unless a (non-
                 // inclusive) L2 copy keeps it on chip.
-                result.noteEvicted(r3.evicted_addr, r3.evicted_dirty);
+                recordEviction(result, r3.evicted_addr, r3.evicted_dirty,
+                               now);
                 if (r3.evicted_dirty)
                     mem.write(p.l3.block_bytes);
             }
         } else if (r.evicted && !l3Cache.contains(r.evicted_addr)) {
             // Clean L2 victims are dropped, not pushed into L3.
-            result.noteEvicted(r.evicted_addr, false);
+            recordEviction(result, r.evicted_addr, false, now);
         }
         return result;
     }
@@ -71,25 +72,27 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
         cacheEnergy += l3Timing.write_nj;
         auto wb = l3Cache.access(r2.evicted_addr, true);
         if (wb.evicted && !l2Cache.contains(wb.evicted_addr)) {
-            result.noteEvicted(wb.evicted_addr, wb.evicted_dirty);
+            recordEviction(result, wb.evicted_addr, wb.evicted_dirty, now);
             if (wb.evicted_dirty)
                 mem.write(p.l3.block_bytes);
         }
     } else if (r2.evicted && !l3Cache.contains(r2.evicted_addr)) {
-        result.noteEvicted(r2.evicted_addr, false);
+        recordEviction(result, r2.evicted_addr, false, now);
     }
     if (r2.hit) {
         ++statL2Hits;
         regionHist.sample(0);
         result.hit = true;
         result.latency = p.l2_latency;
+        if (obsSink) [[unlikely]]
+            obsSink->hit(now, addr, 0, result.latency);
         return result;
     }
 
     cacheEnergy += l3Timing.read_nj;
     auto r3 = l3Cache.access(addr, is_write);
     if (r3.evicted && !l2Cache.contains(r3.evicted_addr)) {
-        result.noteEvicted(r3.evicted_addr, r3.evicted_dirty);
+        recordEviction(result, r3.evicted_addr, r3.evicted_dirty, now);
         if (r3.evicted_dirty)
             mem.write(p.l3.block_bytes);
     } else if (r3.evicted && r3.evicted_dirty) {
@@ -102,6 +105,8 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
         // lookup), so an L3 hit costs the L3's uniform access time.
         result.hit = true;
         result.latency = p.l3_latency;
+        if (obsSink) [[unlikely]]
+            obsSink->hit(now, addr, 1, result.latency);
         return result;
     }
 
@@ -112,6 +117,8 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
     // completed.
     result.latency = l2Timing.tag_latency + l3Timing.tag_latency +
         mem.read(p.l3.block_bytes);
+    if (obsSink) [[unlikely]]
+        obsSink->miss(now, addr, result.latency);
     return result;
 }
 

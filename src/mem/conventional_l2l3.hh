@@ -51,6 +51,12 @@ class ConventionalL2L3 final : public LowerMemory
         l3Cache.forEachValid(fn);
     }
 
+    /** Regions: 0 = L2 blocks, 1 = L3 blocks. */
+    void regionOccupancy(std::vector<std::uint64_t> &out) const override
+    {
+        out.assign({l2Cache.validCount(), l3Cache.validCount()});
+    }
+
     bool audit(AuditSink &sink) const override
     {
         const bool l2_ok = l2Cache.audit(sink);

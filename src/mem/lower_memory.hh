@@ -13,12 +13,14 @@
 #include <array>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/histogram.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "sim/audit/audit.hh"
+#include "sim/obs/obs.hh"
 
 namespace nurapid {
 
@@ -113,6 +115,41 @@ class LowerMemory
      * Returns true when no violation was reported.
      */
     virtual bool audit(AuditSink &sink) const = 0;
+
+    /**
+     * Attaches (or detaches, with nullptr) a flight-recorder event
+     * sink. The organizations' hot paths carry always-compiled hooks
+     * that cost one predictably-not-taken branch while detached; the
+     * sink is thread-confined, so attach only the owning run's sink.
+     */
+    void attachObserver(EventSink *sink) { obsSink = sink; }
+
+    /**
+     * Instantaneous valid-block count per latency region (same region
+     * axis as regionHits()). Default: no occupancy series — the
+     * observability timeline then omits it. Snapshot path, not called
+     * during simulation unless an interval recorder is attached.
+     */
+    virtual void regionOccupancy(std::vector<std::uint64_t> &out) const
+    {
+        out.clear();
+    }
+
+  protected:
+    /** Flight-recorder sink; null (the common case) when detached. */
+    EventSink *obsSink = nullptr;
+
+    /** Result::noteEvicted plus the paired flight-recorder event —
+     *  every block departure the organizations report goes through
+     *  here, so the event stream sees exactly what the differential
+     *  oracle sees. */
+    void
+    recordEviction(Result &r, Addr addr, bool dirty, Cycle now)
+    {
+        r.noteEvicted(addr, dirty);
+        if (obsSink) [[unlikely]]
+            obsSink->eviction(now, addr, dirty);
+    }
 };
 
 } // namespace nurapid

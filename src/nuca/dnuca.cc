@@ -214,6 +214,13 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
         // hits only; L1 writebacks update in place).
         if (p.promote_on_hit && r > 0 && !is_writeback) {
             const std::uint32_t victim = lruWayInRow(set, r - 1);
+            // An invalid victim way makes the "swap" a pure inward move.
+            if (obsSink) [[unlikely]] {
+                if (line(set, victim).valid)
+                    obsSink->swap(now, block, r, r - 1);
+                else
+                    obsSink->promotion(now, block, r, r - 1);
+            }
             std::swap(line(set, hit_way), line(set, victim));
             std::swap(stamps[std::size_t{set} * p.assoc + hit_way],
                       stamps[std::size_t{set} * p.assoc + victim]);
@@ -232,6 +239,12 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
 
         result.hit = true;
         result.latency = is_writeback ? 0 : lookup_lat;
+        if (obsSink) [[unlikely]] {
+            if (is_writeback)
+                obsSink->writeback(now, block);
+            else
+                obsSink->hit(now, block, r, result.latency);
+        }
         NURAPID_AUDIT_POINT(auditTick, audit(audit::hookSink()));
         return result;
     }
@@ -239,6 +252,8 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
     // Miss path.
     if (!is_writeback)
         ++statMisses;
+    if (obsSink && is_writeback) [[unlikely]]
+        obsSink->writeback(now, block);
 
     // Prefer an invalid way (slowest rows first); otherwise evict the
     // slowest way of the set — which need not be the set-LRU block.
@@ -258,7 +273,8 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
         ++statEvictions;
         ++statBankDataAccesses;
         cacheEnergy += times.bank(p.rows - 1, col).access_nj;
-        result.noteEvicted((v.tag * sets + set) * p.block_bytes, v.dirty);
+        recordEviction(result, (v.tag * sets + set) * p.block_bytes,
+                       v.dirty, now);
         if (v.dirty)
             mem.write(p.block_bytes);
         v.valid = false;
@@ -278,6 +294,8 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
 
     result.hit = false;
     result.latency = is_writeback ? 0 : lookup_lat + mem_lat;
+    if (obsSink && !is_writeback) [[unlikely]]
+        obsSink->miss(now, block, result.latency);
     NURAPID_AUDIT_POINT(auditTick, audit(audit::hookSink()));
     return result;
 }
@@ -286,6 +304,18 @@ EnergyNJ
 DNucaCache::dynamicEnergyNJ() const
 {
     return cacheEnergy + mem.dynamicEnergyNJ();
+}
+
+void
+DNucaCache::regionOccupancy(std::vector<std::uint64_t> &out) const
+{
+    out.assign(p.rows, 0);
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        for (std::uint32_t w = 0; w < p.assoc; ++w) {
+            if (lines[std::size_t{s} * p.assoc + w].valid)
+                ++out[rowOfWay(w)];
+        }
+    }
 }
 
 void

@@ -66,9 +66,11 @@ SNucaCache::access(Addr addr, AccessType type, Cycle now)
     cacheEnergy += times.bank(row, col).access_nj;
 
     Result result;
+    if (obsSink && is_writeback) [[unlikely]]
+        obsSink->writeback(now, block);
     auto r = banks[bank_idx].access(block, is_write);
     if (r.evicted) {
-        result.noteEvicted(r.evicted_addr, r.evicted_dirty);
+        recordEviction(result, r.evicted_addr, r.evicted_dirty, now);
         if (r.evicted_dirty)
             mem.write(p.block_bytes);
     }
@@ -82,6 +84,8 @@ SNucaCache::access(Addr addr, AccessType type, Cycle now)
         result.hit = true;
         result.latency =
             is_writeback ? 0 : wait + times.bank(row, col).latency;
+        if (obsSink && !is_writeback) [[unlikely]]
+            obsSink->hit(now, block, row, result.latency);
     } else {
         if (!is_writeback)
             ++statMisses;
@@ -92,6 +96,8 @@ SNucaCache::access(Addr addr, AccessType type, Cycle now)
         result.latency = is_writeback
             ? 0
             : wait + times.bank(row, col).latency + mem_lat;
+        if (obsSink && !is_writeback) [[unlikely]]
+            obsSink->miss(now, block, result.latency);
     }
     return result;
 }
@@ -100,6 +106,14 @@ EnergyNJ
 SNucaCache::dynamicEnergyNJ() const
 {
     return cacheEnergy + mem.dynamicEnergyNJ();
+}
+
+void
+SNucaCache::regionOccupancy(std::vector<std::uint64_t> &out) const
+{
+    out.assign(p.rows, 0);
+    for (std::uint32_t b = 0; b < banks.size(); ++b)
+        out[b / p.cols] += banks[b].validCount();
 }
 
 void

@@ -131,6 +131,12 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
             const std::uint32_t tgt_group =
                 p.promotion == PromotionPolicy::NextFastest ? g - 1 : 0;
             const std::uint32_t victim = lruWayInGroup(set, tgt_group);
+            if (obsSink) [[unlikely]] {
+                if (line(set, victim).valid)
+                    obsSink->swap(now, block, g, tgt_group);
+                else
+                    obsSink->promotion(now, block, g, tgt_group);
+            }
             std::swap(line(set, hit_way), line(set, victim));
             std::swap(stamps[std::size_t{set} * p.assoc + hit_way],
                       stamps[std::size_t{set} * p.assoc + victim]);
@@ -147,9 +153,17 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
             ? 0
             : static_cast<Cycles>(start - now) +
                 times.dgroups[g].total_latency;
+        if (obsSink) [[unlikely]] {
+            if (is_writeback)
+                obsSink->writeback(now, block);
+            else
+                obsSink->hit(now, block, g, result.latency);
+        }
     } else {
         if (!is_writeback)
             ++statMisses;
+        if (obsSink && is_writeback) [[unlikely]]
+            obsSink->writeback(now, block);
 
         // Data replacement: evict the set-LRU block, freeing its way.
         std::uint32_t victim = 0;
@@ -176,8 +190,8 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
             ++statDGroupAccesses;
             cacheEnergy +=
                 times.dgroups[groupOfWay(victim)].data_read_nj;
-            result.noteEvicted((v.tag * sets + set) * p.block_bytes,
-                               v.dirty);
+            recordEviction(result, (v.tag * sets + set) * p.block_bytes,
+                           v.dirty, now);
             if (v.dirty)
                 mem.write(p.block_bytes);
             v.valid = false;
@@ -196,6 +210,11 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
                 continue;
             }
             // Demote g's LRU occupant one d-group outward into the hole.
+            if (obsSink) [[unlikely]] {
+                obsSink->demotion(
+                    now, (line(set, w).tag * sets + set) * p.block_bytes,
+                    g, groupOfWay(hole));
+            }
             line(set, hole) = line(set, w);
             stamps[std::size_t{set} * p.assoc + hole] =
                 stamps[std::size_t{set} * p.assoc + w];
@@ -223,6 +242,8 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
             ? 0
             : static_cast<Cycles>(start - now) + times.tag_latency +
                 mem_lat;
+        if (obsSink && !is_writeback) [[unlikely]]
+            obsSink->miss(now, block, result.latency);
     }
 
     if (p.single_port && !is_writeback) {
@@ -236,6 +257,18 @@ EnergyNJ
 CoupledNucaCache::dynamicEnergyNJ() const
 {
     return cacheEnergy + mem.dynamicEnergyNJ();
+}
+
+void
+CoupledNucaCache::regionOccupancy(std::vector<std::uint64_t> &out) const
+{
+    out.assign(p.num_dgroups, 0);
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        for (std::uint32_t w = 0; w < p.assoc; ++w) {
+            if (lines[std::size_t{s} * p.assoc + w].valid)
+                ++out[groupOfWay(w)];
+        }
+    }
 }
 
 void

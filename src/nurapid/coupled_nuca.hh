@@ -50,6 +50,9 @@ class CoupledNucaCache final : public LowerMemory
     const Histogram &regionHits() const override { return regionHist; }
     void resetStats() override;
     void forEachResident(const ResidentFn &fn) const override;
+
+    /** Valid-block count per latency region. */
+    void regionOccupancy(std::vector<std::uint64_t> &out) const override;
     bool audit(AuditSink &sink) const override;
 
     MainMemory &memory() { return mem; }

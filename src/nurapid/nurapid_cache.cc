@@ -72,7 +72,7 @@ NuRapidCache::moveBlock(std::uint32_t group, std::uint32_t frame,
 
 std::uint32_t
 NuRapidCache::ensureFree(std::uint32_t group, std::uint32_t region,
-                         Cycles &busy, Result &result)
+                         Cycles &busy, Result &result, Cycle now)
 {
     if (dataArray.hasFree(group, region))
         return dataArray.allocFrame(group, region);
@@ -87,7 +87,8 @@ NuRapidCache::ensureFree(std::uint32_t group, std::uint32_t region,
         const std::uint32_t f = dataArray.victimFrame(group, region);
         const DataArray::Frame &fr = dataArray.frame(group, f);
         TagArray::Entry &e = tagArray.entry(fr.set, fr.way);
-        result.noteEvicted(tagArray.blockAddr(fr.set, fr.way), e.dirty);
+        recordEviction(result, tagArray.blockAddr(fr.set, fr.way),
+                       e.dirty, now);
         if (e.dirty)
             mem.write(p.block_bytes);
         e.valid = false;
@@ -99,8 +100,16 @@ NuRapidCache::ensureFree(std::uint32_t group, std::uint32_t region,
     }
 
     const std::uint32_t victim = dataArray.victimFrame(group, region);
-    const std::uint32_t dest = ensureFree(group + 1, region, busy, result);
+    Addr victim_addr = 0;
+    if (obsSink) [[unlikely]] {
+        const DataArray::Frame &vf = dataArray.frame(group, victim);
+        victim_addr = tagArray.blockAddr(vf.set, vf.way);
+    }
+    const std::uint32_t dest =
+        ensureFree(group + 1, region, busy, result, now);
     moveBlock(group, victim, group + 1, dest);
+    if (obsSink) [[unlikely]]
+        obsSink->demotion(now, victim_addr, group, group + 1);
     ++statDemotions;
     busy += times.swapBusy(group, group + 1);
     cacheEnergy += times.swapEnergy(group, group + 1);
@@ -108,7 +117,8 @@ NuRapidCache::ensureFree(std::uint32_t group, std::uint32_t region,
 }
 
 void
-NuRapidCache::promote(std::uint32_t set, std::uint32_t way, Cycles &busy)
+NuRapidCache::promote(std::uint32_t set, std::uint32_t way, Cycles &busy,
+                      Cycle now)
 {
     TagArray::Entry &e = tagArray.entry(set, way);
     const std::uint32_t g = e.group;
@@ -127,6 +137,10 @@ NuRapidCache::promote(std::uint32_t set, std::uint32_t way, Cycles &busy)
         // Pure promotion into a free frame: one block move.
         const std::uint32_t dest = dataArray.allocFrame(target, region);
         moveBlock(g, e.frame, target, dest);
+        if (obsSink) [[unlikely]] {
+            obsSink->promotion(now, tagArray.blockAddr(set, way), g,
+                               target);
+        }
         busy += times.swapBusy(g, target);
         cacheEnergy += times.swapEnergy(g, target);
         return;
@@ -148,6 +162,12 @@ NuRapidCache::promote(std::uint32_t set, std::uint32_t way, Cycles &busy)
     e.frame = victim;
     ve.group = static_cast<std::uint8_t>(g);
     ve.frame = our_frame;
+
+    if (obsSink) [[unlikely]] {
+        // One Swap event covers the atomic pair: the hit block moved
+        // g -> target, the distance victim target -> g.
+        obsSink->swap(now, tagArray.blockAddr(set, way), g, target);
+    }
 
     ++statDemotions;
     statBlockMoves += 2;
@@ -209,15 +229,23 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
 
         // L1 writebacks update in place without migrating the block.
         if (!p.ideal_fastest && !is_writeback)
-            promote(look.set, look.way, busy);
+            promote(look.set, look.way, busy, now);
 
         result.hit = true;
         result.latency = is_writeback
             ? 0
             : static_cast<Cycles>(start - now) + lat;
+        if (obsSink) [[unlikely]] {
+            if (is_writeback)
+                obsSink->writeback(now, block);
+            else
+                obsSink->hit(now, block, g, result.latency);
+        }
     } else {
         if (!is_writeback)
             ++statMisses;
+        if (obsSink && is_writeback) [[unlikely]]
+            obsSink->writeback(now, block);
 
         // Data replacement: evict the set-LRU block from the cache,
         // freeing its data frame (Section 2.2, step 2).
@@ -225,7 +253,8 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
         TagArray::Entry &e = tagArray.entry(look.set, way);
         if (e.valid) {
             ++statEvictions;
-            result.noteEvicted(tagArray.blockAddr(look.set, way), e.dirty);
+            recordEviction(result, tagArray.blockAddr(look.set, way),
+                           e.dirty, now);
             if (e.dirty) {
                 ++statDirtyEvictions;
                 mem.write(p.block_bytes);
@@ -239,7 +268,7 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
         // d-group (Section 2.1), demoting as needed.
         const std::uint32_t region = dataArray.regionOf(
             block >> blockShift);
-        const std::uint32_t f0 = ensureFree(0, region, busy, result);
+        const std::uint32_t f0 = ensureFree(0, region, busy, result, now);
 
         e.valid = true;
         e.dirty = is_write;
@@ -260,6 +289,8 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
             ? 0
             : static_cast<Cycles>(start - now) + times.tag_latency +
                 mem_lat;
+        if (obsSink && !is_writeback) [[unlikely]]
+            obsSink->miss(now, block, result.latency);
     }
 
     if (p.single_port && !p.ideal_fastest && !is_writeback) {
@@ -309,6 +340,16 @@ NuRapidCache::resetStats()
     mem.resetStats();
     regionHist.reset();
     cacheEnergy = 0;
+}
+
+void
+NuRapidCache::regionOccupancy(std::vector<std::uint64_t> &out) const
+{
+    out.assign(p.num_dgroups, 0);
+    for (std::uint32_t g = 0; g < dataArray.numGroups(); ++g) {
+        for (std::uint32_t f = 0; f < dataArray.framesPerGroup(); ++f)
+            out[g] += dataArray.frame(g, f).valid;
+    }
 }
 
 void

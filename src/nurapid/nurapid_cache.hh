@@ -68,6 +68,9 @@ class NuRapidCache final : public LowerMemory
     void resetStats() override;
     void forEachResident(const ResidentFn &fn) const override;
 
+    /** Valid-frame count per d-group. */
+    void regionOccupancy(std::vector<std::uint64_t> &out) const override;
+
     /**
      * Full structural audit: tag-array and data-array local invariants,
      * the forward/reverse pointer bijection in both directions,
@@ -104,7 +107,7 @@ class NuRapidCache final : public LowerMemory
      * port-occupancy into @p busy.
      */
     std::uint32_t ensureFree(std::uint32_t group, std::uint32_t region,
-                             Cycles &busy, Result &result);
+                             Cycles &busy, Result &result, Cycle now);
 
     /** Moves the block in (group, frame) to (dest_group, dest_frame),
      *  updating the forward and reverse pointers. */
@@ -112,7 +115,8 @@ class NuRapidCache final : public LowerMemory
                    std::uint32_t dest_group, std::uint32_t dest_frame);
 
     /** Handles promotion of a just-hit block per the policy. */
-    void promote(std::uint32_t set, std::uint32_t way, Cycles &busy);
+    void promote(std::uint32_t set, std::uint32_t way, Cycles &busy,
+                 Cycle now);
 
     Params p;
     NuRapidTiming times;

@@ -68,7 +68,7 @@ AuditConfig::fromEnv()
         if (*s != '\0' && end && *end == '\0' && v > 0)
             cfg.interval = v;
         else
-            warn("ignoring invalid NURAPID_AUDIT_INTERVAL '%s'", s);
+            warnOnce("ignoring invalid NURAPID_AUDIT_INTERVAL '%s'", s);
     }
     return cfg;
 }

@@ -126,7 +126,7 @@ SimLength::fromEnv()
             len.measure_records = static_cast<std::uint64_t>(
                 len.measure_records * scale);
         } else {
-            warn("ignoring invalid NURAPID_SIM_SCALE '%s'", s);
+            warnOnce("ignoring invalid NURAPID_SIM_SCALE '%s'", s);
         }
     }
     return len;

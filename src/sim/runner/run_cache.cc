@@ -274,12 +274,12 @@ RunCache::mergeLocked(const std::string &path)
     std::string err;
     const Json root = Json::parse(ss.str(), &err);
     if (!root.isObject()) {
-        warn("run cache %s: unreadable (%s); ignoring", path.c_str(),
+        warnOnce("run cache %s: unreadable (%s); ignoring", path.c_str(),
              err.c_str());
         return 0;
     }
     if (root.get("schema").asUint() != kRunCacheSchema) {
-        warn("run cache %s: schema %llu != %u; ignoring", path.c_str(),
+        warnOnce("run cache %s: schema %llu != %u; ignoring", path.c_str(),
              static_cast<unsigned long long>(root.get("schema").asUint()),
              kRunCacheSchema);
         return 0;

@@ -20,7 +20,7 @@ RunEngineOptions::fromEnv()
         if (end && *end == '\0' && *s != '\0' && v <= 4096) {
             opts.jobs = static_cast<unsigned>(v);
         } else {
-            warn("ignoring invalid NURAPID_JOBS '%s'", s);
+            warnOnce("ignoring invalid NURAPID_JOBS '%s'", s);
         }
     }
     if (const char *f = std::getenv("NURAPID_RUN_CACHE"))
@@ -62,7 +62,7 @@ RunEngine::runMany(const std::vector<RunRequest> &requests)
     std::vector<std::pair<std::size_t, std::size_t>> dups;
 
     for (std::size_t i = 0; i < n; ++i) {
-        if (opts.use_cache) {
+        if (opts.use_cache && !requests[i].obs.enabled()) {
             keys[i] = fingerprintRun(requests[i].spec,
                                      requests[i].profile,
                                      requests[i].length);
@@ -86,6 +86,7 @@ RunEngine::runMany(const std::vector<RunRequest> &requests)
         auto work = [&](std::size_t idx) {
             const RunRequest &r = requests[idx];
             System sys(r.spec, r.profile, r.length);
+            sys.enableObservability(r.obs);
             results[idx] = sys.runAll();
         };
 
@@ -119,8 +120,10 @@ RunEngine::runMany(const std::vector<RunRequest> &requests)
             atomicAdd(simSecs, results[idx].wall_seconds);
 
         if (opts.use_cache) {
-            for (std::size_t idx : misses)
-                memo.store(keys[idx], results[idx]);
+            for (std::size_t idx : misses) {
+                if (!requests[idx].obs.enabled())
+                    memo.store(keys[idx], results[idx]);
+            }
             if (!opts.cache_file.empty())
                 memo.saveFile(opts.cache_file);
         }

@@ -47,6 +47,12 @@ struct RunRequest
     OrgSpec spec;
     WorkloadProfile profile;
     SimLength length{};
+
+    /** Observability request for this run. An enabled config makes
+     *  the run uncacheable: its point is the side-effect trace and
+     *  metrics files, which a memoized result would silently skip, so
+     *  the engine bypasses both cache lookup and store. */
+    ObsConfig obs{};
 };
 
 struct RunEngineOptions

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "sim/obs/export.hh"
 #include "sim/profile/profile.hh"
 #include "sim/runner/run_engine.hh"
 #include "timing/geometry.hh"
@@ -171,8 +172,39 @@ System::warmup()
 }
 
 void
+System::enableObservability(const ObsConfig &cfg)
+{
+    obsCfg = cfg;
+    if (!cfg.enabled())
+        return;
+    // The sink exists whenever anything is observed: even a
+    // metrics-only run needs its epoch-local latency aggregates.
+    obsSink = std::make_unique<EventSink>(cfg.record_events,
+                                          cfg.resolvedEventCap());
+    if (cfg.record_metrics) {
+        IntervalSources src;
+        src.org_counters = &lowerMem->stats();
+        src.region_hits = &lowerMem->regionHits();
+        src.cycles = [this] { return coreModel->cycles(); };
+        src.instructions = [this] { return coreModel->instructions(); };
+        src.occupancy = [this](std::vector<std::uint64_t> &out) {
+            lowerMem->regionOccupancy(out);
+        };
+        obsRec = std::make_unique<IntervalRecorder>(
+            cfg.resolvedInterval(), std::move(src), obsSink.get());
+    }
+}
+
+void
 System::measure()
 {
+    if (obsSink && !obsAttached) {
+        lowerMem->attachObserver(obsSink.get());
+        coreModel->attachObservability(obsSink.get(), obsRec.get());
+        if (obsRec)
+            obsRec->begin();
+        obsAttached = true;
+    }
     runRecords(length.measure_records);
 }
 
@@ -219,6 +251,35 @@ System::metrics() const
     return m;
 }
 
+void
+System::exportObservability(RunMetrics &m)
+{
+    if (!obsSink)
+        return;
+    if (obsRec)
+        obsRec->finish();
+    const ObsExportMeta meta{prof.name, spec.description()};
+    if (!obsCfg.events_path.empty() &&
+        !writeEventsJsonl(obsCfg.events_path, meta, *obsSink)) {
+        warn("failed to write event trace %s",
+             obsCfg.events_path.c_str());
+    }
+    if (obsRec) {
+        if (!obsCfg.metrics_path.empty()) {
+            if (writeMetricsJsonl(obsCfg.metrics_path, meta, *obsRec))
+                m.metrics_file = obsCfg.metrics_path;
+            else
+                warn("failed to write metrics timeline %s",
+                     obsCfg.metrics_path.c_str());
+        }
+        if (!obsCfg.perfetto_path.empty() &&
+            !writePerfettoTrace(obsCfg.perfetto_path, meta, *obsRec)) {
+            warn("failed to write perfetto trace %s",
+                 obsCfg.perfetto_path.c_str());
+        }
+    }
+}
+
 RunMetrics
 System::runAll()
 {
@@ -227,7 +288,9 @@ System::runAll()
     measure();
     wallSeconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count();
-    return metrics();
+    RunMetrics m = metrics();
+    exportObservability(m);
+    return m;
 }
 
 RunMetrics

@@ -14,6 +14,7 @@
 #include "cpu/ooo_core.hh"
 #include "energy/energy_model.hh"
 #include "sim/config.hh"
+#include "sim/obs/obs.hh"
 #include "trace/distilled_trace.hh"
 #include "trace/packed_trace.hh"
 #include "trace/synthetic.hh"
@@ -54,6 +55,11 @@ struct RunMetrics
 
     /** True when the run engine served this result from its cache. */
     bool from_cache = false;
+
+    /** Path of the interval-metrics JSONL this run wrote, empty when
+     *  observability was off. Side-effect bookkeeping only: excluded
+     *  from run-cache serialization and metric comparison. */
+    std::string metrics_file;
 };
 
 class System
@@ -70,6 +76,18 @@ class System
     void warmup();
     void measure();
     RunMetrics metrics() const;
+
+    /**
+     * Arms the flight recorder for this run. Call before measure():
+     * the sink and recorder attach at measurement start, so warmup
+     * stays unobserved and the epoch-0 baseline reflects the
+     * post-reset counters. No-op when @p cfg requests nothing.
+     */
+    void enableObservability(const ObsConfig &cfg);
+
+    /** Null unless enableObservability() armed them (for tests). */
+    EventSink *observabilitySink() { return obsSink.get(); }
+    IntervalRecorder *observabilityRecorder() { return obsRec.get(); }
 
     OooCore &core() { return *coreModel; }
     LowerMemory &lower() { return *lowerMem; }
@@ -101,8 +119,16 @@ class System
      *  panics on a segment that does not end on a distillation cut. */
     std::shared_ptr<const DistilledTrace> distilled;
     DistilledTrace::Cursor dcur;
+    /** Finishes the timeline and writes any requested export files,
+     *  stamping the metrics path into @p m. */
+    void exportObservability(RunMetrics &m);
+
     ProcessorEnergyParams energyParams;
     double wallSeconds = 0;  //!< set by runAll()
+    ObsConfig obsCfg;
+    std::unique_ptr<EventSink> obsSink;
+    std::unique_ptr<IntervalRecorder> obsRec;
+    bool obsAttached = false;
 };
 
 /** Instantiates the lower-memory organization an OrgSpec describes

@@ -54,8 +54,58 @@ usage(const char *argv0)
         "  --search S             D-NUCA: multicast | ss-performance |\n"
         "                         ss-energy\n"
         "  --scale X              scale simulation length (default 1.0)\n"
-        "  --stats                dump full statistic groups\n",
+        "  --stats                dump full statistic groups\n"
+        "  --trace-out FILE       write the typed event stream (hits,\n"
+        "                         misses, promotions, demotions, swaps,\n"
+        "                         evictions, writebacks, MSHR stalls)\n"
+        "                         as JSONL\n"
+        "  --metrics-out FILE     write the interval-metrics timeline\n"
+        "                         as JSONL (one snapshot per epoch)\n"
+        "  --perfetto-out FILE    write the timeline as a Chrome\n"
+        "                         trace.json (chrome://tracing,\n"
+        "                         ui.perfetto.dev)\n"
+        "  --obs-interval N       references per observability epoch\n"
+        "                         (default: NURAPID_OBS_INTERVAL or "
+        "65536)\n"
+        "\n"
+        "With --suite, observability paths get a per-workload suffix\n"
+        "(events.jsonl -> events.applu.jsonl). Observed runs bypass the\n"
+        "run cache so the trace files are always written.\n"
+        "\n"
+        "environment knobs:\n"
+        "  NURAPID_JOBS            worker threads for parallel batches\n"
+        "                          (default: hardware concurrency)\n"
+        "  NURAPID_RUN_CACHE       path of the cross-binary run\n"
+        "                          memoization cache (JSON)\n"
+        "  NURAPID_TRACE_CACHE_DIR on-disk packed/distilled trace cache\n"
+        "                          directory\n"
+        "  NURAPID_TRACE_PREGEN    0 disables trace pre-generation\n"
+        "                          (per-record live generation instead)\n"
+        "  NURAPID_DISTILL         0 disables distilled L2-event replay\n"
+        "  NURAPID_SIM_SCALE       global simulation-length multiplier\n"
+        "  NURAPID_AUDIT           1 enables the invariant-audit layer\n"
+        "  NURAPID_AUDIT_INTERVAL  accesses between audit sweeps\n"
+        "                          (default 4096)\n"
+        "  NURAPID_OBS_INTERVAL    references per observability epoch\n"
+        "                          (default 65536)\n"
+        "  NURAPID_OBS_EVENT_CAP   flight-recorder ring capacity;\n"
+        "                          0/unset = unbounded\n",
         argv0);
+}
+
+/** events.jsonl -> events.applu.jsonl (suffix before the extension). */
+std::string
+perWorkloadPath(const std::string &path, const std::string &workload)
+{
+    if (path.empty())
+        return path;
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + "." + workload;
+    }
+    return path.substr(0, dot) + "." + workload + path.substr(dot);
 }
 
 /** Strict decimal parse of @p v into [lo, hi]; fatal() on garbage. */
@@ -157,6 +207,11 @@ main(int argc, char **argv)
     bool ideal = false;
     DNucaSearch search = DNucaSearch::SsPerformance;
 
+    std::string trace_out;
+    std::string metrics_out;
+    std::string perfetto_out;
+    std::uint64_t obs_interval = 0;
+
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&](const char *flag) -> std::string {
@@ -210,6 +265,16 @@ main(int argc, char **argv)
             scale = parseDouble("--scale", value("--scale"), 0.0, 1e6);
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--trace-out") {
+            trace_out = value("--trace-out");
+        } else if (arg == "--metrics-out") {
+            metrics_out = value("--metrics-out");
+        } else if (arg == "--perfetto-out") {
+            perfetto_out = value("--perfetto-out");
+        } else if (arg == "--obs-interval") {
+            obs_interval = parseUint("--obs-interval",
+                                     value("--obs-interval"), 1,
+                                     std::uint64_t{1} << 40);
         } else {
             usage(argv[0]);
             fatal("unknown option '%s'", arg.c_str());
@@ -234,6 +299,14 @@ main(int argc, char **argv)
         fatal("unknown organization '%s' (try --list)", org.c_str());
     }
 
+    ObsConfig obs;
+    obs.record_events = !trace_out.empty();
+    obs.record_metrics = !metrics_out.empty() || !perfetto_out.empty();
+    obs.interval = obs_interval;
+    obs.events_path = trace_out;
+    obs.metrics_path = metrics_out;
+    obs.perfetto_path = perfetto_out;
+
     SimLength length = SimLength::fromEnv();
     if (scale > 0) {
         length.warmup_records = static_cast<std::uint64_t>(
@@ -253,7 +326,19 @@ main(int argc, char **argv)
                     engine.jobsFor(workloadSuite().size()));
 
         const auto t0 = std::chrono::steady_clock::now();
-        auto runs = engine.runSuite(spec, workloadSuite(), length);
+        std::vector<RunRequest> requests;
+        requests.reserve(workloadSuite().size());
+        for (const auto &profile : workloadSuite()) {
+            RunRequest r{spec, profile, length, obs};
+            r.obs.events_path =
+                perWorkloadPath(trace_out, profile.name);
+            r.obs.metrics_path =
+                perWorkloadPath(metrics_out, profile.name);
+            r.obs.perfetto_path =
+                perWorkloadPath(perfetto_out, profile.name);
+            requests.push_back(std::move(r));
+        }
+        auto runs = engine.runMany(requests);
         const double wall = std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0).count();
 
@@ -287,6 +372,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(length.measure_records));
 
     System sys(spec, profile, length);
+    sys.enableObservability(obs);
     auto m = sys.runAll();
 
     TextTable t;
@@ -317,6 +403,24 @@ main(int argc, char **argv)
                     100.0 * m.region_frac[g]);
     }
     std::printf("  miss:     %5.1f%%\n", 100.0 * m.miss_frac);
+
+    if (const EventSink *sink = sys.observabilitySink()) {
+        std::printf("\nobservability: %llu events recorded",
+                    static_cast<unsigned long long>(sink->recorded()));
+        if (sink->dropped()) {
+            std::printf(" (%llu overwritten by the flight-recorder "
+                        "ring)",
+                        static_cast<unsigned long long>(
+                            sink->dropped()));
+        }
+        std::printf("\n");
+        if (!trace_out.empty())
+            std::printf("  events:   %s\n", trace_out.c_str());
+        if (!metrics_out.empty())
+            std::printf("  metrics:  %s\n", metrics_out.c_str());
+        if (!perfetto_out.empty())
+            std::printf("  perfetto: %s\n", perfetto_out.c_str());
+    }
 
     if (dump_stats) {
         std::printf("\n%s", sys.lower().stats().dump().c_str());

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Histogram unit tests: percentile queries, merging, and the edge
+ * cases (empty, single-bucket, clamped overflow samples) the
+ * observability layer's latency aggregates lean on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+
+namespace nurapid {
+namespace {
+
+TEST(Histogram, PercentileWalksCumulativeCounts)
+{
+    Histogram h(10);
+    h.sample(2, 10);
+    h.sample(7, 10);
+    // Rank is ceil(q * total) with a floor of 1: q = 0 still asks for
+    // the first sample.
+    EXPECT_EQ(h.percentileBucket(0.0), 2u);
+    EXPECT_EQ(h.percentileBucket(0.25), 2u);
+    EXPECT_EQ(h.percentileBucket(0.5), 2u);   // rank 10, bucket 2 cum 10
+    EXPECT_EQ(h.percentileBucket(0.51), 7u);  // rank 11
+    EXPECT_EQ(h.percentileBucket(0.95), 7u);
+    EXPECT_EQ(h.percentileBucket(1.0), 7u);
+}
+
+TEST(Histogram, PercentileClampsQuantile)
+{
+    Histogram h(4);
+    h.sample(1, 5);
+    h.sample(3, 5);
+    EXPECT_EQ(h.percentileBucket(-0.5), 1u);
+    EXPECT_EQ(h.percentileBucket(7.0), 3u);
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero)
+{
+    Histogram sized(8);
+    EXPECT_EQ(sized.percentileBucket(0.5), 0u);
+    Histogram unsized;
+    EXPECT_EQ(unsized.percentileBucket(0.95), 0u);
+}
+
+TEST(Histogram, SingleBucketAbsorbsEverything)
+{
+    Histogram h(1);
+    h.sample(0, 3);
+    h.sample(99);  // clamps into the only bucket
+    EXPECT_EQ(h.count(0), 4u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.clamped(), 1u);
+    EXPECT_EQ(h.percentileBucket(0.0), 0u);
+    EXPECT_EQ(h.percentileBucket(1.0), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 1.0);
+}
+
+TEST(Histogram, OverflowSamplesClampIntoLastBucket)
+{
+    Histogram h(4);
+    h.sample(0, 1);
+    h.sample(4, 2);    // first out-of-range index
+    h.sample(1000, 3);
+    EXPECT_EQ(h.count(3), 5u);
+    EXPECT_EQ(h.clamped(), 5u);
+    EXPECT_EQ(h.total(), 6u);
+    // The overflow bucket still orders percentiles correctly.
+    EXPECT_EQ(h.percentileBucket(0.1), 0u);
+    EXPECT_EQ(h.percentileBucket(0.95), 3u);
+}
+
+TEST(Histogram, MergeAddsBucketwise)
+{
+    Histogram a(3), b(3);
+    a.sample(0, 1);
+    a.sample(2, 2);
+    b.sample(0, 4);
+    b.sample(1, 8);
+    b.sample(9, 1);  // clamped into bucket 2
+    a.merge(b);
+    EXPECT_EQ(a.count(0), 5u);
+    EXPECT_EQ(a.count(1), 8u);
+    EXPECT_EQ(a.count(2), 3u);
+    EXPECT_EQ(a.total(), 16u);
+    EXPECT_EQ(a.clamped(), 1u);
+    // The merged-from histogram is untouched.
+    EXPECT_EQ(b.total(), 13u);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity)
+{
+    Histogram a(2), empty(2);
+    a.sample(1, 7);
+    a.merge(empty);
+    EXPECT_EQ(a.count(1), 7u);
+    EXPECT_EQ(a.total(), 7u);
+    EXPECT_EQ(a.percentileBucket(0.5), 1u);
+}
+
+TEST(Histogram, ResetClearsCountsAndClamp)
+{
+    Histogram h(2);
+    h.sample(0, 2);
+    h.sample(5, 1);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.clamped(), 0u);
+    EXPECT_EQ(h.count(0), 0u);
+    EXPECT_EQ(h.count(1), 0u);
+    EXPECT_EQ(h.percentileBucket(0.5), 0u);
+    EXPECT_EQ(h.buckets(), 2u);  // shape survives reset
+}
+
+} // namespace
+} // namespace nurapid
