@@ -21,7 +21,15 @@ main()
                 "shrinks them to 10 bits");
 
     const auto suite = highLoadSuite();
-    auto base = runSuite(OrgSpec::nurapidDefault(), suite);
+    const std::uint32_t restrictions[] = {2048u, 512u, 128u, 32u};
+    std::vector<OrgSpec> specs{OrgSpec::nurapidDefault()};
+    for (std::uint32_t restriction : restrictions) {
+        OrgSpec spec = OrgSpec::nurapidDefault();
+        spec.nurapid.frame_restriction = restriction;
+        specs.push_back(spec);
+    }
+    auto all = runSuites(specs, suite);
+    const auto &base = all[0];
 
     TextTable t;
     t.header({"Restriction", "fwd bits", "pointer overhead",
@@ -50,12 +58,8 @@ main()
     };
 
     describe(0, base);
-    for (std::uint32_t restriction : {2048u, 512u, 128u, 32u}) {
-        OrgSpec spec = OrgSpec::nurapidDefault();
-        spec.nurapid.frame_restriction = restriction;
-        auto runs = runSuite(spec, suite);
-        describe(restriction, runs);
-    }
+    for (std::size_t i = 0; i < std::size(restrictions); ++i)
+        describe(restrictions[i], all[i + 1]);
     t.print();
 
     std::printf("\nReading: mild restrictions retain nearly all of the "

@@ -18,19 +18,26 @@ main()
                 "one port does not hinder NuRAPID's performance");
 
     const auto suite = highLoadSuite();
-    auto base = runSuite(OrgSpec::baseline(), suite);
-
-    TextTable t;
-    t.header({"Configuration", "rel. perf vs base", "port-blocked note"});
-
+    std::vector<OrgSpec> specs{OrgSpec::baseline()};
     for (auto promo : {PromotionPolicy::NextFastest,
                        PromotionPolicy::Fastest}) {
         OrgSpec one = OrgSpec::nurapidDefault(4, promo);
         OrgSpec inf = one;
         inf.nurapid.single_port = false;
+        specs.push_back(one);
+        specs.push_back(inf);
+    }
+    auto all = runSuites(specs, suite);
+    const auto &base = all[0];
 
-        auto r1 = runSuite(one, suite);
-        auto ri = runSuite(inf, suite);
+    TextTable t;
+    t.header({"Configuration", "rel. perf vs base", "port-blocked note"});
+
+    std::size_t at = 1;
+    for (auto promo : {PromotionPolicy::NextFastest,
+                       PromotionPolicy::Fastest}) {
+        const auto &r1 = all[at++];
+        const auto &ri = all[at++];
         const double gap = geomeanRatio(ri, r1) - 1.0;
         t.row({strprintf("%s, one port", promotionPolicyName(promo)),
                TextTable::num(geomeanRatio(r1, base), 3), "-"});

@@ -19,10 +19,13 @@ main()
                 "coupling. Expected: static < adaptive everywhere");
 
     const auto suite = highLoadSuite();
-    auto base = runSuite(OrgSpec::baseline(), suite);
-    auto sn = runSuite(OrgSpec::snucaDefault(), suite);
-    auto dn = runSuite(OrgSpec::dnucaSsPerformance(), suite);
-    auto nr = runSuite(OrgSpec::nurapidDefault(), suite);
+    auto all = runSuites({OrgSpec::baseline(), OrgSpec::snucaDefault(),
+                          OrgSpec::dnucaSsPerformance(),
+                          OrgSpec::nurapidDefault()}, suite);
+    const auto &base = all[0];
+    const auto &sn = all[1];
+    const auto &dn = all[2];
+    const auto &nr = all[3];
 
     TextTable t;
     t.header({"Benchmark", "S-NUCA", "D-NUCA", "NuRAPID",

@@ -20,10 +20,13 @@ main()
                 "D-NUCA and performs 61% fewer d-group accesses");
 
     const auto suite = workloadSuite();
-    auto base = runSuite(OrgSpec::baseline(), suite);
-    auto den = runSuite(OrgSpec::dnucaSsEnergy(), suite);
-    auto dperf = runSuite(OrgSpec::dnucaSsPerformance(), suite);
-    auto nr = runSuite(OrgSpec::nurapidDefault(), suite);
+    auto all = runSuites({OrgSpec::baseline(), OrgSpec::dnucaSsEnergy(),
+                          OrgSpec::dnucaSsPerformance(),
+                          OrgSpec::nurapidDefault()}, suite);
+    const auto &base = all[0];
+    const auto &den = all[1];
+    const auto &dperf = all[2];
+    const auto &nr = all[3];
 
     TextTable t;
     t.header({"Benchmark", "base nJ/acc", "D-NUCA ss-perf",

@@ -20,9 +20,11 @@ main()
                 "over both the base hierarchy and D-NUCA");
 
     const auto suite = workloadSuite();
-    auto base = runSuite(OrgSpec::baseline(), suite);
-    auto dn = runSuite(OrgSpec::dnucaSsEnergy(), suite);
-    auto nr = runSuite(OrgSpec::nurapidDefault(), suite);
+    auto all = runSuites({OrgSpec::baseline(), OrgSpec::dnucaSsEnergy(),
+                          OrgSpec::nurapidDefault()}, suite);
+    const auto &base = all[0];
+    const auto &dn = all[1];
+    const auto &nr = all[2];
 
     TextTable t;
     t.header({"Benchmark", "base EDP", "D-NUCA/base", "NuRAPID/base",

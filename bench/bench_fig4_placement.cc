@@ -19,8 +19,10 @@ main()
                 "d-groups 8% (a) vs 2% (b)");
 
     const auto suite = highLoadSuite();
-    auto sa = runSuite(OrgSpec::coupledSA(), suite);
-    auto da = runSuite(OrgSpec::nurapidDefault(), suite);
+    auto all = runSuites({OrgSpec::coupledSA(),
+                          OrgSpec::nurapidDefault()}, suite);
+    const auto &sa = all[0];
+    const auto &da = all[1];
 
     TextTable t;
     t.header({"Benchmark", "a:g1", "a:g2", "a:g3+4", "a:miss",

@@ -18,11 +18,13 @@ main()
                 "next-fastest 84%, fastest 86%; miss rates identical");
 
     const auto suite = highLoadSuite();
-    auto demo = runSuite(
-        OrgSpec::nurapidDefault(4, PromotionPolicy::DemotionOnly), suite);
-    auto next = runSuite(OrgSpec::nurapidDefault(), suite);
-    auto fast = runSuite(
-        OrgSpec::nurapidDefault(4, PromotionPolicy::Fastest), suite);
+    auto all = runSuites(
+        {OrgSpec::nurapidDefault(4, PromotionPolicy::DemotionOnly),
+         OrgSpec::nurapidDefault(),
+         OrgSpec::nurapidDefault(4, PromotionPolicy::Fastest)}, suite);
+    const auto &demo = all[0];
+    const auto &next = all[1];
+    const auto &fast = all[2];
 
     TextTable t;
     t.header({"Benchmark", "a:demo g1", "a:g2+", "b:next g1", "b:g2+",

@@ -19,13 +19,17 @@ main()
                 "exceed low-load");
 
     const auto suite = workloadSuite();
-    auto base = runSuite(OrgSpec::baseline(), suite);
-    auto demo = runSuite(
-        OrgSpec::nurapidDefault(4, PromotionPolicy::DemotionOnly), suite);
-    auto next = runSuite(OrgSpec::nurapidDefault(), suite);
-    auto fast = runSuite(
-        OrgSpec::nurapidDefault(4, PromotionPolicy::Fastest), suite);
-    auto ideal = runSuite(OrgSpec::nurapidIdeal(), suite);
+    auto all = runSuites(
+        {OrgSpec::baseline(),
+         OrgSpec::nurapidDefault(4, PromotionPolicy::DemotionOnly),
+         OrgSpec::nurapidDefault(),
+         OrgSpec::nurapidDefault(4, PromotionPolicy::Fastest),
+         OrgSpec::nurapidIdeal()}, suite);
+    const auto &base = all[0];
+    const auto &demo = all[1];
+    const auto &next = all[2];
+    const auto &fast = all[3];
+    const auto &ideal = all[4];
 
     TextTable t;
     t.header({"Benchmark", "class", "demotion-only", "next-fastest",

@@ -17,9 +17,12 @@ main()
                 "85% (4dg), 77% (8dg); identical miss rates");
 
     const auto suite = highLoadSuite();
-    auto n2 = runSuite(OrgSpec::nurapidDefault(2), suite);
-    auto n4 = runSuite(OrgSpec::nurapidDefault(4), suite);
-    auto n8 = runSuite(OrgSpec::nurapidDefault(8), suite);
+    auto all = runSuites({OrgSpec::nurapidDefault(2),
+                          OrgSpec::nurapidDefault(4),
+                          OrgSpec::nurapidDefault(8)}, suite);
+    const auto &n2 = all[0];
+    const auto &n4 = all[1];
+    const auto &n8 = all[2];
 
     auto rest = [](const RunMetrics &m) {
         double r = 0;

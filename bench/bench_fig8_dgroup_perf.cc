@@ -17,10 +17,13 @@ main()
                 "capacity advantage; 8dg buys little over 4dg");
 
     const auto suite = workloadSuite();
-    auto base = runSuite(OrgSpec::baseline(), suite);
-    auto n2 = runSuite(OrgSpec::nurapidDefault(2), suite);
-    auto n4 = runSuite(OrgSpec::nurapidDefault(4), suite);
-    auto n8 = runSuite(OrgSpec::nurapidDefault(8), suite);
+    auto all = runSuites({OrgSpec::baseline(), OrgSpec::nurapidDefault(2),
+                          OrgSpec::nurapidDefault(4),
+                          OrgSpec::nurapidDefault(8)}, suite);
+    const auto &base = all[0];
+    const auto &n2 = all[1];
+    const auto &n4 = all[2];
+    const auto &n8 = all[3];
 
     TextTable t;
     t.header({"Benchmark", "class", "2 d-groups", "4 d-groups",

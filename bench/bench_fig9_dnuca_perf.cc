@@ -21,10 +21,14 @@ main()
                 "~2.9-3.0% on average and up to 15%");
 
     const auto suite = workloadSuite();
-    auto base = runSuite(OrgSpec::baseline(), suite);
-    auto dn = runSuite(OrgSpec::dnucaSsPerformance(), suite);
-    auto n4 = runSuite(OrgSpec::nurapidDefault(4), suite);
-    auto n8 = runSuite(OrgSpec::nurapidDefault(8), suite);
+    auto all = runSuites({OrgSpec::baseline(),
+                          OrgSpec::dnucaSsPerformance(),
+                          OrgSpec::nurapidDefault(4),
+                          OrgSpec::nurapidDefault(8)}, suite);
+    const auto &base = all[0];
+    const auto &dn = all[1];
+    const auto &n4 = all[2];
+    const auto &n8 = all[3];
 
     TextTable t;
     t.header({"Benchmark", "class", "D-NUCA", "NuRAPID-4", "NuRAPID-8",

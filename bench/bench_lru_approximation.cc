@@ -19,21 +19,22 @@ main()
                 "84% (random)");
 
     const auto suite = highLoadSuite();
-    auto demo_rnd = runSuite(
-        OrgSpec::nurapidDefault(4, PromotionPolicy::DemotionOnly,
-                                DistanceRepl::Random), suite);
-    auto demo_lru = runSuite(
-        OrgSpec::nurapidDefault(4, PromotionPolicy::DemotionOnly,
-                                DistanceRepl::LRU), suite);
-    auto next_rnd = runSuite(
-        OrgSpec::nurapidDefault(4, PromotionPolicy::NextFastest,
-                                DistanceRepl::Random), suite);
-    auto next_lru = runSuite(
-        OrgSpec::nurapidDefault(4, PromotionPolicy::NextFastest,
-                                DistanceRepl::LRU), suite);
-    auto next_plru = runSuite(
-        OrgSpec::nurapidDefault(4, PromotionPolicy::NextFastest,
-                                DistanceRepl::TreePLRU), suite);
+    auto all = runSuites(
+        {OrgSpec::nurapidDefault(4, PromotionPolicy::DemotionOnly,
+                                 DistanceRepl::Random),
+         OrgSpec::nurapidDefault(4, PromotionPolicy::DemotionOnly,
+                                 DistanceRepl::LRU),
+         OrgSpec::nurapidDefault(4, PromotionPolicy::NextFastest,
+                                 DistanceRepl::Random),
+         OrgSpec::nurapidDefault(4, PromotionPolicy::NextFastest,
+                                 DistanceRepl::LRU),
+         OrgSpec::nurapidDefault(4, PromotionPolicy::NextFastest,
+                                 DistanceRepl::TreePLRU)}, suite);
+    const auto &demo_rnd = all[0];
+    const auto &demo_lru = all[1];
+    const auto &next_rnd = all[2];
+    const auto &next_lru = all[3];
+    const auto &next_plru = all[4];
 
     TextTable t;
     t.header({"Benchmark", "demo/random g1", "demo/LRU g1",

@@ -66,6 +66,12 @@ for config in $configs; do
         (cd "$dir" && NURAPID_DISTILL=0 ctest -L tier1 -j "$jobs" \
             --output-on-failure | tail -n 3)
 
+        # Gang replay also defaults on; the suite must equally hold
+        # with every run scheduled per-organization.
+        echo "=== [$config] ctest -L tier1 (NURAPID_GANG=0) ==="
+        (cd "$dir" && NURAPID_GANG=0 ctest -L tier1 -j "$jobs" \
+            --output-on-failure | tail -n 3)
+
         echo "=== [$config] obs smoke (flight recorder + report) ==="
         obs_dir="$dir/obs_smoke"
         rm -rf "$obs_dir"
@@ -115,6 +121,29 @@ for config in $configs; do
         cmp -s "$obs_dir/cache_a.norm" "$obs_dir/cache_b.norm" || {
             echo "obs: run cache diverged around an observed suite" >&2
             exit 1; }
+
+        # Gang-identity bracket: the all-organizations suite, run once
+        # gang-scheduled and once per-organization, must fill caches
+        # whose normalized dumps (--dump-cache zeroes wall-clock and
+        # strips the gang key fields) are byte-identical.
+        echo "=== [$config] gang-identity bracket (gang on vs off) ==="
+        gang_dir="$dir/gang_bracket"
+        rm -rf "$gang_dir"
+        mkdir -p "$gang_dir"
+        NURAPID_SIM_SCALE=0.02 NURAPID_RUN_CACHE="$gang_dir/on.json" \
+            "$dir/src/tools/nurapid_sim" --org all --suite --gang on \
+            > /dev/null
+        NURAPID_SIM_SCALE=0.02 NURAPID_RUN_CACHE="$gang_dir/off.json" \
+            "$dir/src/tools/nurapid_sim" --org all --suite --gang off \
+            > /dev/null
+        "$dir/src/tools/nurapid_sim" --dump-cache "$gang_dir/on.json" \
+            > "$gang_dir/on.dump"
+        "$dir/src/tools/nurapid_sim" --dump-cache "$gang_dir/off.json" \
+            > "$gang_dir/off.dump"
+        cmp -s "$gang_dir/on.dump" "$gang_dir/off.dump" || {
+            echo "gang bracket: gang-on and gang-off sweeps disagree" \
+                 "(diff $gang_dir/on.dump $gang_dir/off.dump)" >&2
+            exit 1; }
     fi
 
     echo "=== [$config] fuzz smoke ($fuzz_iters iters, audits on) ==="
@@ -155,17 +184,21 @@ for config in $configs; do
             sh scripts/regen_bench.sh "$dir" --quiet 2>&1 \
             | tee "$off_log" | tail -n 1
         # Sums a named footer bucket ("distill 0.123s" ...) over every
-        # [profile] line in a log.
+        # [profile] line in a log. Values inside the parenthesized
+        # core breakdown carry trailing punctuation ("0.123s)"), so
+        # strip everything non-numeric.
         bucket_sum() {
             grep '^\[profile\]' "$1" | awk -v key="$2" '
                 { for (i = 1; i < NF; i++)
-                      if ($i == key) { v = $(i + 1); sub(/s$/, "", v);
+                      if ($i == key) { v = $(i + 1);
+                                       gsub(/[^0-9.]/, "", v);
                                        s += v } }
                 END { printf "%.3f", s }'
         }
         distill_s=$(bucket_sum "$smoke_log" distill)
         core_on_s=$(bucket_sum "$smoke_log" core)
         core_off_s=$(bucket_sum "$off_log" core)
+        gang_s=$(bucket_sum "$smoke_log" gang)
         echo "perf smoke: distill ${distill_s}s," \
              "core ${core_on_s}s (distilled) vs ${core_off_s}s (live)"
         awk -v d="$distill_s" 'BEGIN { exit !(d > 0) }' || {
@@ -176,6 +209,13 @@ for config in $configs; do
             'BEGIN { exit !(on < off) }' || {
             echo "perf smoke: distilled core bucket (${core_on_s}s) did" \
                  "not shrink vs live (${core_off_s}s)" >&2
+            exit 1
+        }
+        # The sweep batches all organizations per figure, so gang
+        # replay must actually engage and show up in the profile.
+        echo "perf smoke: gang bucket ${gang_s}s"
+        awk -v g="$gang_s" 'BEGIN { exit !(g > 0) }' || {
+            echo "perf smoke: no Gang bucket in the profile" >&2
             exit 1
         }
     fi

@@ -42,6 +42,8 @@
 
 namespace nurapid {
 
+class GangReplayer;
+
 struct CoreParams
 {
     std::uint32_t issue_width = 8;
@@ -141,6 +143,11 @@ class OooCore
     }
 
   private:
+    /** The gang replayer (sim/gang.hh) drives many cores through one
+     *  shared distilled-stream traversal; it checks the lanes' private
+     *  dispatch state when deciding a group's eligibility. */
+    friend class GangReplayer;
+
     struct Pending
     {
         std::uint64_t inst = 0;  //!< instruction index at issue

@@ -1,0 +1,200 @@
+#include "sim/gang.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/logging.hh"
+#include "sim/org_dispatch.hh"
+#include "sim/profile/profile.hh"
+
+namespace nurapid {
+
+bool
+gangEnabled()
+{
+    const char *s = std::getenv("NURAPID_GANG");
+    return s == nullptr || std::string_view(s) != "0";
+}
+
+GangMode
+GangMode::fromEnv()
+{
+    GangMode mode;
+    mode.enabled = gangEnabled();
+    if (const char *s = std::getenv("NURAPID_GANG_WIDTH")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(s, &end, 10);
+        if (end && *end == '\0' && *s != '\0' && v <= 4096) {
+            mode.width_cap = static_cast<std::uint32_t>(v);
+        } else {
+            warnOnce("ignoring invalid NURAPID_GANG_WIDTH '%s'", s);
+        }
+    }
+    return mode;
+}
+
+/**
+ * Events per interleave block. Each lane's cache-organization tables
+ * are megabytes of randomly-accessed state, so they — not the shared
+ * distilled stream — dominate the host's memory traffic. Measured on
+ * the bench sweep, fine interleaving is therefore counterproductive: a
+ * per-event rotation inflated the l2-org profile bucket by ~70% (five
+ * organizations' tag arrays evicting each other), and even 4096-event
+ * blocks showed the same thrash because a block touches most of a
+ * lane's hot table set. Blocks must be large enough that the one-time
+ * table re-warm amortizes; the default keeps full-scale runs (well
+ * under a million events) to a single block per lane, which is the
+ * measured optimum. NURAPID_GANG_BLOCK overrides it — tests use small
+ * values to exercise the multi-block boundary logic.
+ */
+static std::uint64_t
+gangBlockEvents()
+{
+    // Re-read per traversal (not once per process) so tests can pin a
+    // tiny block size to exercise the multi-block boundary logic.
+    constexpr std::uint64_t kDefault = 1ull << 20;
+    if (const char *s = std::getenv("NURAPID_GANG_BLOCK")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(s, &end, 10);
+        if (end && *end == '\0' && *s != '\0' && v > 0)
+            return static_cast<std::uint64_t>(v);
+        warnOnce("ignoring invalid NURAPID_GANG_BLOCK '%s'", s);
+    }
+    return kDefault;
+}
+
+void
+GangReplayer::replayRecords(const std::vector<Lane> &lanes,
+                            DistilledTrace::Cursor &cur,
+                            std::uint64_t records)
+{
+    NURAPID_PROFILE_SCOPE(Gang);
+    panic_if(lanes.empty(), "gang replay with no lanes");
+
+    const std::uint64_t block_cap = gangBlockEvents();
+    const std::uint64_t stop = cur.pos + records;
+    while (cur.pos < stop) {
+        // Scan one block ahead: up to kGangBlockEvents events, all
+        // inside this segment. Blocks end just past an event record,
+        // which is exactly the boundary runDistilled can stop on (the
+        // segment's own stop record is an event by the cut contract).
+        const DistilledTrace::Event *scan = cur.ev;
+        std::uint64_t block_events = 0;
+        std::uint64_t last_rec = 0;
+        while (scan != cur.ev_end && scan->rec < stop &&
+               block_events < block_cap) {
+            last_rec = scan->rec;
+            ++scan;
+            ++block_events;
+        }
+        panic_if(block_events == 0,
+                 "distilled events drained before the stop record — "
+                 "replay must end on one of the stream's cuts");
+        const std::uint64_t block_end =
+            (scan != cur.ev_end && scan->rec < stop) ? last_rec + 1
+                                                     : stop;
+
+        // Every lane replays the block through the ordinary
+        // devirtualized solo loop on its own copy of the cursor — the
+        // per-lane instruction stream is literally the solo replay's,
+        // so bit-identity needs no argument beyond "same code, same
+        // inputs". All copies advance identically; the last one
+        // becomes the shared cursor.
+        const std::uint64_t block_records = block_end - cur.pos;
+        DistilledTrace::Cursor after = cur;
+        for (const Lane &lane : lanes) {
+            DistilledTrace::Cursor c = cur;
+            withConcreteOrg(*lane.lower, lane.kind, [&](auto &org) {
+                lane.core->runDistilled(org, c, block_records);
+            });
+            after = c;
+        }
+        cur = after;
+    }
+}
+
+bool
+GangReplayer::eligible(const std::vector<System *> &group)
+{
+    if (group.size() < 2)
+        return false;
+    const System *first = group.front();
+    if (!first->distilled)
+        return false;
+    const std::uint64_t warmup = first->length.warmup_records;
+    const std::uint64_t total = warmup + first->length.measure_records;
+    if (warmup > 0 && !first->distilled->isCut(warmup))
+        return false;
+    if (total == 0 || !first->distilled->isCut(total))
+        return false;
+    for (const System *sys : group) {
+        if (sys->distilled.get() != first->distilled.get() ||
+            sys->consumed != 0 || sys->obsAttached ||
+            sys->length.warmup_records != warmup ||
+            sys->length.measure_records !=
+                first->length.measure_records ||
+            false) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<RunMetrics>
+GangReplayer::runAll(const std::vector<System *> &group)
+{
+    std::vector<RunMetrics> out;
+    out.reserve(group.size());
+    if (!eligible(group)) {
+        for (System *sys : group)
+            out.push_back(sys->runAll());
+        return out;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<Lane> lanes;
+    lanes.reserve(group.size());
+    for (System *sys : group) {
+        lanes.push_back(Lane{sys->coreModel.get(), sys->lowerMem.get(),
+                             sys->spec.kind});
+    }
+
+    // The same phase sequence runAll() drives, with each replay
+    // folded into one traversal. All cursors are equal (every system
+    // is fresh on the same stream), so one shared cursor stands in.
+    DistilledTrace::Cursor cur = group.front()->dcur;
+    const SimLength &len = group.front()->length;
+    if (len.warmup_records > 0) {
+        NURAPID_PROFILE_SCOPE(Core);
+        replayRecords(lanes, cur, len.warmup_records);
+    }
+    for (System *sys : group) {
+        sys->coreModel->resetStats();
+        sys->lowerMem->resetStats();
+    }
+    for (System *sys : group)
+        sys->attachObserversForMeasure();
+    if (len.measure_records > 0) {
+        NURAPID_PROFILE_SCOPE(Core);
+        replayRecords(lanes, cur, len.measure_records);
+    }
+
+    const double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    const std::uint64_t total =
+        len.warmup_records + len.measure_records;
+    for (System *sys : group) {
+        sys->dcur = cur;
+        sys->consumed = total;
+        // The traversal's cost was shared; identity with the per-org
+        // path is modulo wall_seconds by contract.
+        sys->wallSeconds = wall / static_cast<double>(group.size());
+        RunMetrics m = sys->metrics();
+        sys->exportObservability(m);
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+} // namespace nurapid

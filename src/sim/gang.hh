@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Gang replay: one traversal of a shared distilled L2-event stream
+ * drives an array of organizations at once.
+ *
+ * The engine groups cache-missed runs by distilled-trace fingerprint
+ * (same workload, same phase lengths) and hands each group to the
+ * replayer, which drives all lanes through the stream in coarse
+ * blocks: per block, every lane replays the same record range through
+ * the ordinary devirtualized solo loop on its own copy of the shared
+ * cursor. Bit-identity with the per-org path therefore needs no
+ * argument beyond "same code, same inputs" — each lane executes
+ * literally the solo replay's instruction sequence, just sliced at
+ * block boundaries (which runDistilled can stop and resume on).
+ *
+ * Blocks are coarse by measurement, not by accident: a lane's
+ * organization tables are megabytes of randomly-accessed state, so
+ * fine interleaving makes five lanes' tables evict each other from the
+ * host cache (~70% inflation of the l2-org profile bucket at
+ * per-event granularity) — more than the shared stream bytes save.
+ * See gang.cc for the block-size rationale and NURAPID_GANG_BLOCK.
+ *
+ * tests/test_gang_replay.cc asserts identity of RunMetrics and obs
+ * event streams; the gang fuzz target (testing/gang_differ.hh)
+ * diffs eviction identity and dirty bits on fuzzed streams.
+ *
+ * NURAPID_GANG=0 (or nurapid_sim --gang off) disables gang scheduling,
+ * mirroring NURAPID_DISTILL=0.
+ */
+
+#ifndef NURAPID_SIM_GANG_HH
+#define NURAPID_SIM_GANG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/system.hh"
+#include "trace/distilled_trace.hh"
+
+namespace nurapid {
+
+/** Engine-level gang-replay switches. Part of the run-cache
+ *  fingerprint, so results produced under one mode are never silently
+ *  served to a verification run of the other. */
+struct GangMode
+{
+    bool enabled = true;
+
+    /** Max lanes per gang; 0 = unlimited. */
+    std::uint32_t width_cap = 0;
+
+    /** Reads NURAPID_GANG and NURAPID_GANG_WIDTH. */
+    static GangMode fromEnv();
+};
+
+/** False when NURAPID_GANG=0 disables gang replay. */
+bool gangEnabled();
+
+class GangReplayer
+{
+  public:
+    /** One organization riding the shared stream. */
+    struct Lane
+    {
+        OooCore *core = nullptr;
+        LowerMemory *lower = nullptr;
+        OrgKind kind = OrgKind::NuRapid;
+    };
+
+    /**
+     * Low-level replay: drives every lane through @p records records
+     * of one shared distilled stream, advancing @p cur past the
+     * segment. Every lane must have been built against the stream's
+     * L1/predictor configuration and share one dispatch CPI; the
+     * segment must end on a cut (same contract as runDistilled, same
+     * panics). Also used directly by the gang fuzz harness.
+     */
+    static void replayRecords(const std::vector<Lane> &lanes,
+                              DistilledTrace::Cursor &cur,
+                              std::uint64_t records);
+
+    /** True when the group can share one traversal: >= 2 fresh
+     *  systems on the same distilled stream with equal phase lengths
+     *  landing on cuts. */
+    static bool eligible(const std::vector<System *> &group);
+
+    /**
+     * Runs warmup and measure for the whole group in one stream
+     * traversal per phase and returns each system's metrics in group
+     * order, bit-identical to per-system runAll() except wall_seconds
+     * (the gang's wall time is split evenly across lanes). Falls back
+     * to sequential runAll() when the group is not eligible.
+     */
+    static std::vector<RunMetrics> runAll(const std::vector<System *> &group);
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_SIM_GANG_HH

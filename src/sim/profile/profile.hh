@@ -10,6 +10,8 @@
  *   core       the warmup/measure loop (cpu/ + L1s + replay)
  *   l2-org     LowerMemory::access calls made from that loop
  *              (a subset of the core bucket, reported separately)
+ *   gang       multi-organization gang traversals (sim/gang.hh; a
+ *              subset of the core bucket, reported separately)
  *   stats      metrics extraction + energy accounting
  *
  * Like the audit hooks, the probes are compiled out by default:
@@ -33,6 +35,7 @@ enum class Bucket : unsigned {
     Distill,
     Core,
     L2Org,
+    Gang,   //!< gang stream traversals (a slice of the core bucket)
     Stats,
     kCount,
 };

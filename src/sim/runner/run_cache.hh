@@ -24,11 +24,13 @@
 #define NURAPID_SIM_RUNNER_RUN_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 
 #include "common/json.hh"
+#include "sim/gang.hh"
 #include "sim/system.hh"
 
 namespace nurapid {
@@ -43,9 +45,23 @@ struct RunKey
     std::string digest;  //!< 16-hex-digit FNV-1a of the key
 };
 
-/** Builds the fingerprint of one (spec, profile, length) run. */
+/**
+ * Builds the fingerprint of one (spec, profile, length) run. The gang
+ * mode is part of the key: a cache populated by gang replays is never
+ * served to a --gang=off verification run (or vice versa), so the
+ * bit-identity bracket in scripts/check.sh really simulates twice.
+ */
 RunKey fingerprintRun(const OrgSpec &spec, const WorkloadProfile &profile,
-                      const SimLength &length);
+                      const SimLength &length,
+                      const GangMode &gang = GangMode::fromEnv());
+
+/**
+ * Key of everything a gang must share: the workload profile (hence the
+ * distilled stream and dispatch CPI) and the phase lengths. Runs with
+ * equal group keys are candidates for one shared traversal.
+ */
+std::string gangGroupKey(const WorkloadProfile &profile,
+                         const SimLength &length);
 
 /** RunMetrics <-> JSON (used by the cache file; round-trips exactly). */
 Json runMetricsToJson(const RunMetrics &m);
@@ -69,6 +85,16 @@ class RunCache
     void store(const RunKey &key, const RunMetrics &metrics);
 
     std::size_t size() const;
+
+    /**
+     * Visits every entry as (full key string, metrics), in digest
+     * order. Used by nurapid_sim --dump-cache to print a normalized
+     * view two caches can be compared by even when their digests
+     * differ (the gang mode is part of the key).
+     */
+    void forEachEntry(
+        const std::function<void(const std::string &,
+                                 const RunMetrics &)> &fn) const;
 
     /**
      * Merges entries from @p path into this cache (in-memory entries

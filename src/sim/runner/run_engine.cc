@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "sim/gang.hh"
+#include "trace/distilled_trace.hh"
 
 namespace nurapid {
 
@@ -25,6 +27,7 @@ RunEngineOptions::fromEnv()
     }
     if (const char *f = std::getenv("NURAPID_RUN_CACHE"))
         opts.cache_file = f;
+    opts.gang = GangMode::fromEnv();
     return opts;
 }
 
@@ -47,6 +50,44 @@ RunEngine::jobsFor(std::size_t pending) const
     return std::max(1u, std::min(base, cap));
 }
 
+std::vector<std::vector<std::size_t>>
+RunEngine::gangUnits(const std::vector<RunRequest> &requests,
+                     const std::vector<std::size_t> &misses) const
+{
+    std::vector<std::vector<std::size_t>> units;
+    if (!opts.gang.enabled || !distillEnabled()) {
+        units.reserve(misses.size());
+        for (std::size_t idx : misses)
+            units.push_back({idx});
+        return units;
+    }
+
+    // Group in first-appearance order so results stay deterministic
+    // regardless of map iteration order.
+    std::map<std::string, std::size_t> unit_of_key;
+    for (std::size_t idx : misses) {
+        const std::string key = gangGroupKey(requests[idx].profile,
+                                             requests[idx].length);
+        auto [it, inserted] = unit_of_key.emplace(key, units.size());
+        if (inserted)
+            units.emplace_back();
+        units[it->second].push_back(idx);
+    }
+
+    const std::uint32_t cap = opts.gang.width_cap;
+    if (cap == 0)
+        return units;  // unlimited width
+    std::vector<std::vector<std::size_t>> capped;
+    for (const auto &unit : units) {
+        for (std::size_t at = 0; at < unit.size(); at += cap) {
+            const std::size_t end = std::min<std::size_t>(
+                at + cap, unit.size());
+            capped.emplace_back(unit.begin() + at, unit.begin() + end);
+        }
+    }
+    return capped;
+}
+
 std::vector<RunMetrics>
 RunEngine::runMany(const std::vector<RunRequest> &requests)
 {
@@ -65,7 +106,7 @@ RunEngine::runMany(const std::vector<RunRequest> &requests)
         if (opts.use_cache && !requests[i].obs.enabled()) {
             keys[i] = fingerprintRun(requests[i].spec,
                                      requests[i].profile,
-                                     requests[i].length);
+                                     requests[i].length, opts.gang);
             if (memo.lookup(keys[i], results[i])) {
                 results[i].from_cache = true;
                 hits.fetch_add(1);
@@ -83,17 +124,44 @@ RunEngine::runMany(const std::vector<RunRequest> &requests)
     }
 
     if (!misses.empty()) {
-        auto work = [&](std::size_t idx) {
-            const RunRequest &r = requests[idx];
-            System sys(r.spec, r.profile, r.length);
-            sys.enableObservability(r.obs);
-            results[idx] = sys.runAll();
+        // Pack the misses into work units. With gang replay enabled,
+        // misses sharing a workload profile and phase lengths become
+        // one multi-lane unit replayed in a single stream traversal;
+        // otherwise (and for groups of one) a unit is a lone run.
+        const std::vector<std::vector<std::size_t>> units =
+            gangUnits(requests, misses);
+
+        auto work = [&](const std::vector<std::size_t> &unit) {
+            if (unit.size() == 1) {
+                const RunRequest &r = requests[unit.front()];
+                System sys(r.spec, r.profile, r.length);
+                sys.enableObservability(r.obs);
+                results[unit.front()] = sys.runAll();
+                return;
+            }
+            std::vector<std::unique_ptr<System>> systems;
+            systems.reserve(unit.size());
+            std::vector<System *> group;
+            group.reserve(unit.size());
+            for (std::size_t idx : unit) {
+                const RunRequest &r = requests[idx];
+                systems.push_back(std::make_unique<System>(
+                    r.spec, r.profile, r.length));
+                systems.back()->enableObservability(r.obs);
+                group.push_back(systems.back().get());
+            }
+            // Falls back to per-system runAll() when ineligible
+            // (e.g. NURAPID_DISTILL=0 left no shared stream).
+            std::vector<RunMetrics> gang_results =
+                GangReplayer::runAll(group);
+            for (std::size_t j = 0; j < unit.size(); ++j)
+                results[unit[j]] = std::move(gang_results[j]);
         };
 
-        const unsigned jobs = jobsFor(misses.size());
+        const unsigned jobs = jobsFor(units.size());
         if (jobs <= 1) {
-            for (std::size_t idx : misses)
-                work(idx);
+            for (const auto &unit : units)
+                work(unit);
         } else {
             // Touch the shared const singletons (SRAM model, tech
             // point, workload table) on this thread; workers then only
@@ -106,9 +174,9 @@ RunEngine::runMany(const std::vector<RunRequest> &requests)
                 pool.emplace_back([&] {
                     for (;;) {
                         const std::size_t k = next.fetch_add(1);
-                        if (k >= misses.size())
+                        if (k >= units.size())
                             break;
-                        work(misses[k]);
+                        work(units[k]);
                     }
                 });
             }
@@ -154,6 +222,28 @@ RunEngine::runSuite(const OrgSpec &spec,
     for (const auto &profile : suite)
         requests.push_back(RunRequest{spec, profile, length});
     return runMany(requests);
+}
+
+std::vector<std::vector<RunMetrics>>
+RunEngine::runSuites(const std::vector<OrgSpec> &specs,
+                     const std::vector<WorkloadProfile> &suite,
+                     const SimLength &length)
+{
+    std::vector<RunRequest> requests;
+    requests.reserve(specs.size() * suite.size());
+    for (const auto &spec : specs)
+        for (const auto &profile : suite)
+            requests.push_back(RunRequest{spec, profile, length});
+    std::vector<RunMetrics> flat = runMany(requests);
+
+    std::vector<std::vector<RunMetrics>> out(specs.size());
+    auto it = flat.begin();
+    for (auto &row : out) {
+        row.assign(std::make_move_iterator(it),
+                   std::make_move_iterator(it + suite.size()));
+        it += suite.size();
+    }
+    return out;
 }
 
 void

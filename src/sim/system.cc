@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "sim/obs/export.hh"
+#include "sim/org_dispatch.hh"
 #include "sim/profile/profile.hh"
 #include "sim/runner/run_engine.hh"
 #include "timing/geometry.hh"
@@ -51,37 +52,6 @@ withWorkloadCpi(CoreParams params, const WorkloadProfile &profile)
     params.dispatch_cpi = std::max(params.dispatch_cpi,
                                    profile.base_cpi);
     return params;
-}
-
-/**
- * Recovers the concrete organization type behind the factory's
- * LowerMemory pointer and invokes @p fn with it. Every organization is
- * final, so this one switch is the only place virtual dispatch happens
- * on the simulation path — inside fn the compiler statically binds and
- * inlines the organization's access().
- */
-template <class Fn>
-void
-withConcreteOrg(LowerMemory &lower, OrgKind kind, Fn &&fn)
-{
-    switch (kind) {
-      case OrgKind::BaseL2L3:
-        fn(static_cast<ConventionalL2L3 &>(lower));
-        return;
-      case OrgKind::DNuca:
-        fn(static_cast<DNucaCache &>(lower));
-        return;
-      case OrgKind::SNuca:
-        fn(static_cast<SNucaCache &>(lower));
-        return;
-      case OrgKind::NuRapid:
-        fn(static_cast<NuRapidCache &>(lower));
-        return;
-      case OrgKind::CoupledSA:
-        fn(static_cast<CoupledNucaCache &>(lower));
-        return;
-    }
-    panic("unknown organization kind");
 }
 
 } // namespace
@@ -196,7 +166,7 @@ System::enableObservability(const ObsConfig &cfg)
 }
 
 void
-System::measure()
+System::attachObserversForMeasure()
 {
     if (obsSink && !obsAttached) {
         lowerMem->attachObserver(obsSink.get());
@@ -205,6 +175,12 @@ System::measure()
             obsRec->begin();
         obsAttached = true;
     }
+}
+
+void
+System::measure()
+{
+    attachObserversForMeasure();
     runRecords(length.measure_records);
 }
 
@@ -305,6 +281,14 @@ runSuite(const OrgSpec &org, const std::vector<WorkloadProfile> &suite,
          const SimLength &length)
 {
     return globalRunEngine().runSuite(org, suite, length);
+}
+
+std::vector<std::vector<RunMetrics>>
+runSuites(const std::vector<OrgSpec> &specs,
+          const std::vector<WorkloadProfile> &suite,
+          const SimLength &length)
+{
+    return globalRunEngine().runSuites(specs, suite, length);
 }
 
 void

@@ -1,0 +1,274 @@
+#include "testing/gang_differ.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sim/gang.hh"
+#include "sim/obs/obs.hh"
+#include "sim/runner/run_cache.hh"
+#include "testing/fuzzer.hh"
+#include "trace/distilled_trace.hh"
+#include "trace/packed_trace.hh"
+
+namespace nurapid {
+namespace {
+
+/** Sets NURAPID_GANG_BLOCK for one gang run, restoring on exit. */
+class ScopedBlockSize
+{
+  public:
+    explicit ScopedBlockSize(std::uint64_t block)
+    {
+        if (const char *old = std::getenv("NURAPID_GANG_BLOCK")) {
+            saved = old;
+            had = true;
+        }
+        setenv("NURAPID_GANG_BLOCK", std::to_string(block).c_str(), 1);
+    }
+
+    ~ScopedBlockSize()
+    {
+        if (had)
+            setenv("NURAPID_GANG_BLOCK", saved.c_str(), 1);
+        else
+            unsetenv("NURAPID_GANG_BLOCK");
+    }
+
+  private:
+    std::string saved;
+    bool had = false;
+};
+
+std::optional<std::string>
+diffEvents(const std::vector<ObsEvent> &solo,
+           const std::vector<ObsEvent> &gang, std::size_t lane,
+           const std::string &org)
+{
+    if (solo.size() != gang.size()) {
+        return strprintf("lane %zu (%s): %zu events solo vs %zu ganged",
+                         lane, org.c_str(), solo.size(), gang.size());
+    }
+    for (std::size_t i = 0; i < solo.size(); ++i) {
+        const ObsEvent &a = solo[i];
+        const ObsEvent &b = gang[i];
+        if (a.cycle == b.cycle && a.addr == b.addr &&
+            a.latency == b.latency && a.kind == b.kind &&
+            a.from == b.from && a.to == b.to && a.flags == b.flags) {
+            continue;
+        }
+        return strprintf(
+            "lane %zu (%s): event %zu diverged — solo %s addr %#llx "
+            "dirty %u vs gang %s addr %#llx dirty %u (cycles %llu / "
+            "%llu)",
+            lane, org.c_str(), i, obsEventKindName(a.kind),
+            static_cast<unsigned long long>(a.addr), a.flags & 1u,
+            obsEventKindName(b.kind),
+            static_cast<unsigned long long>(b.addr), b.flags & 1u,
+            static_cast<unsigned long long>(a.cycle),
+            static_cast<unsigned long long>(b.cycle));
+    }
+    return std::nullopt;
+}
+
+std::string
+describeScenario(const GangScenario &s, std::uint64_t seed)
+{
+    std::string orgs;
+    for (const auto &spec : s.orgs) {
+        if (!orgs.empty())
+            orgs += ", ";
+        orgs += spec.description();
+    }
+    return strprintf("seed %llu: %s (stream seed %llu), warmup %llu + "
+                     "measure %llu records, block %llu, lanes [%s]",
+                     static_cast<unsigned long long>(seed),
+                     s.profile.name.c_str(),
+                     static_cast<unsigned long long>(s.profile.seed),
+                     static_cast<unsigned long long>(
+                         s.length.warmup_records),
+                     static_cast<unsigned long long>(
+                         s.length.measure_records),
+                     static_cast<unsigned long long>(s.block_events),
+                     orgs.c_str());
+}
+
+void
+dropScratchTraces()
+{
+    dropUnusedDistilledTraces();
+    dropUnusedPackedTraces();
+}
+
+} // namespace
+
+GangScenario
+gangScenario(std::uint64_t scenario_seed)
+{
+    Rng rng(scenario_seed, 0x9e3779b97f4a7c15ULL);
+    const auto &suite = workloadSuite();
+
+    GangScenario s;
+    s.profile = suite[rng.below(static_cast<std::uint32_t>(
+        suite.size()))];
+    s.profile.seed =
+        (static_cast<std::uint64_t>(rng.next()) << 32) | rng.next();
+    s.profile.mem_refs_per_kinst *= 0.5 + rng.below(1501) / 1000.0;
+    s.profile.store_frac = 0.05 + rng.below(551) / 1000.0;
+    s.profile.dep_frac = rng.below(501) / 1000.0;
+    s.profile.seq_frac = rng.below(801) / 1000.0;
+    s.profile.critical_frac = rng.below(1001) / 1000.0;
+    s.profile.drift_period = rng.below(2) ? 0 : 100 + rng.below(3000);
+    s.profile.ifetch_refs_per_kinst =
+        rng.below(2) ? 0.0 : static_cast<double>(rng.below(60));
+    s.profile.branches_per_kinst *= 0.5 + rng.below(1001) / 1000.0;
+    s.profile.hard_branch_frac = rng.below(401) / 1000.0;
+
+    // 2-5 distinct small-geometry organizations from the fuzz matrix
+    // (small caches keep evictions and demotion cascades frequent at
+    // these record counts).
+    const auto matrix = fuzzTargetMatrix();
+    const std::size_t width = 2 + rng.below(4);
+    std::vector<std::uint32_t> picks;
+    while (picks.size() < width) {
+        const std::uint32_t idx =
+            rng.below(static_cast<std::uint32_t>(matrix.size()));
+        bool dup = false;
+        for (const std::uint32_t p : picks)
+            dup = dup || p == idx;
+        if (!dup)
+            picks.push_back(idx);
+    }
+    for (const std::uint32_t idx : picks)
+        s.orgs.push_back(matrix[idx].spec);
+
+    s.length.warmup_records = rng.below(2) ? 0 : 500 + rng.below(3501);
+    s.length.measure_records = 2000 + rng.below(6001);
+    s.block_events = 1 + rng.below(4096);
+    return s;
+}
+
+std::optional<std::string>
+runGangScenario(const GangScenario &s)
+{
+    ObsConfig obs;
+    obs.record_events = true;
+
+    std::vector<RunMetrics> solo_metrics;
+    std::vector<std::vector<ObsEvent>> solo_events;
+    for (const auto &spec : s.orgs) {
+        System sys(spec, s.profile, s.length);
+        sys.enableObservability(obs);
+        solo_metrics.push_back(sys.runAll());
+        solo_events.push_back(sys.observabilitySink()->events());
+    }
+
+    ScopedBlockSize block(s.block_events);
+    std::vector<std::unique_ptr<System>> group;
+    std::vector<System *> lanes;
+    for (const auto &spec : s.orgs) {
+        group.push_back(
+            std::make_unique<System>(spec, s.profile, s.length));
+        group.back()->enableObservability(obs);
+        lanes.push_back(group.back().get());
+    }
+    if (!GangReplayer::eligible(lanes))
+        return "fresh same-stream group was not gang-eligible";
+    const auto gang_metrics = GangReplayer::runAll(lanes);
+
+    for (std::size_t i = 0; i < s.orgs.size(); ++i) {
+        const std::string org = s.orgs[i].description();
+        if (!identicalMetrics(solo_metrics[i], gang_metrics[i])) {
+            return strprintf(
+                "lane %zu (%s): RunMetrics diverged (solo ipc %.17g "
+                "cycles %llu vs gang ipc %.17g cycles %llu)",
+                i, org.c_str(), solo_metrics[i].ipc,
+                static_cast<unsigned long long>(solo_metrics[i].cycles),
+                gang_metrics[i].ipc,
+                static_cast<unsigned long long>(gang_metrics[i].cycles));
+        }
+        if (auto diff = diffEvents(solo_events[i],
+                                   lanes[i]->observabilitySink()
+                                       ->events(),
+                                   i, org)) {
+            return diff;
+        }
+    }
+    return std::nullopt;
+}
+
+GangFuzzResult
+gangFuzz(const GangFuzzConfig &config)
+{
+    // Fuzzed one-shot streams must never land in the shared disk
+    // cache, and the fuzzer is pointless without distilled replay.
+    unsetenv("NURAPID_TRACE_CACHE_DIR");
+    fatal_if(!distillEnabled(),
+             "gang fuzzing compares distilled replays — unset "
+             "NURAPID_DISTILL first");
+
+    const auto check = [](const GangScenario &s) {
+        const auto fail = runGangScenario(s);
+        dropScratchTraces();
+        return fail;
+    };
+
+    GangFuzzResult res;
+    for (std::uint64_t i = 0; i < config.iterations; ++i) {
+        const std::uint64_t seed = config.seed + i;
+        GangScenario scenario = gangScenario(seed);
+        auto fail = check(scenario);
+        ++res.scenarios;
+        if (config.progress && (i + 1) % 5000 == 0) {
+            std::fprintf(stderr, "gang-fuzz: %llu/%llu scenarios clean\n",
+                         static_cast<unsigned long long>(i + 1),
+                         static_cast<unsigned long long>(
+                             config.iterations));
+        }
+        if (!fail)
+            continue;
+
+        // ddmin: drop lanes, then shrink the stream, while the
+        // divergence persists.
+        res.passed = false;
+        res.failing_seed = seed;
+        GangScenario min = scenario;
+        bool shrunk = true;
+        while (shrunk && min.orgs.size() > 2) {
+            shrunk = false;
+            for (std::size_t k = 0; k < min.orgs.size(); ++k) {
+                GangScenario candidate = min;
+                candidate.orgs.erase(candidate.orgs.begin() +
+                                     static_cast<std::ptrdiff_t>(k));
+                if (check(candidate)) {
+                    min = std::move(candidate);
+                    shrunk = true;
+                    break;
+                }
+            }
+        }
+        while (min.length.measure_records > 128) {
+            GangScenario candidate = min;
+            candidate.length.measure_records /= 2;
+            if (!check(candidate))
+                break;
+            min = std::move(candidate);
+        }
+        if (min.length.warmup_records > 0) {
+            GangScenario candidate = min;
+            candidate.length.warmup_records = 0;
+            if (check(candidate))
+                min = std::move(candidate);
+        }
+        const auto minimized_fail = check(min);
+        res.message = minimized_fail ? *minimized_fail : *fail;
+        res.minimized = describeScenario(min, seed);
+        return res;
+    }
+    return res;
+}
+
+} // namespace nurapid

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Gang-replay differential fuzzing: the gang path vs the per-org path
+ * on fuzzed workloads.
+ *
+ * Each scenario derives deterministically from one seed: a Table-3
+ * workload profile with fuzzed stream structure (seed, reference mix,
+ * dependence/store fractions, drift), a random gang of 2-5 small
+ * -geometry organizations drawn from the fuzz matrix, random
+ * warmup/measure lengths, and a random NURAPID_GANG_BLOCK so block
+ * boundaries land everywhere in the stream. The scenario runs every
+ * lane solo (System::runAll) and then as one gang
+ * (GangReplayer::runAll), with the flight recorder armed on both, and
+ * diffs per lane:
+ *
+ *  - RunMetrics, bit-for-bit (modulo wall_seconds, by contract);
+ *  - the full observability event stream per-event — which pins
+ *    eviction identity (address) and eviction/writeback dirty bits,
+ *    not just end-of-run counters.
+ *
+ * On a mismatch the harness minimizes ddmin-style before reporting:
+ * greedily drops lanes, then halves the measure phase and zeroes the
+ * warmup while the divergence persists, so the reported repro is the
+ * smallest (lanes, records) combination that still fails. Scenarios
+ * are reproducible with nurapid_fuzz --gang --seed <scenario-seed>
+ * --iters 1.
+ */
+
+#ifndef NURAPID_TESTING_GANG_DIFFER_HH
+#define NURAPID_TESTING_GANG_DIFFER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "trace/profiles.hh"
+
+namespace nurapid {
+
+struct GangFuzzConfig
+{
+    std::uint64_t seed = 1;           //!< first scenario seed
+    std::uint64_t iterations = 1000;  //!< scenarios to run
+    bool progress = false;            //!< log every few thousand
+};
+
+/** One fuzzed gang-vs-solo comparison, fully determined by a seed. */
+struct GangScenario
+{
+    WorkloadProfile profile;
+    std::vector<OrgSpec> orgs;
+    SimLength length{0, 0};
+    std::uint64_t block_events = 0;  //!< gang interleave block size
+};
+
+struct GangFuzzResult
+{
+    bool passed = true;
+    std::uint64_t scenarios = 0;     //!< scenarios actually run
+    std::uint64_t failing_seed = 0;  //!< seed of the failing scenario
+    std::string message;             //!< first divergence (minimized)
+    std::string minimized;           //!< minimized scenario summary
+};
+
+/** Builds the deterministic scenario for @p scenario_seed. */
+GangScenario gangScenario(std::uint64_t scenario_seed);
+
+/** Runs one scenario; returns the first divergence, if any. */
+std::optional<std::string> runGangScenario(const GangScenario &s);
+
+/** Runs config.iterations scenarios (seeds seed, seed+1, ...),
+ *  minimizing the first failure. Unsets NURAPID_TRACE_CACHE_DIR for
+ *  the process so fuzzed one-shot traces never pollute the shared
+ *  disk cache. */
+GangFuzzResult gangFuzz(const GangFuzzConfig &config);
+
+} // namespace nurapid
+
+#endif // NURAPID_TESTING_GANG_DIFFER_HH

@@ -23,8 +23,13 @@
 #include <cstring>
 #include <string>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sim/gang.hh"
+#include "sim/runner/run_cache.hh"
 #include "sim/runner/run_engine.hh"
 #include "sim/system.hh"
 #include "trace/profiles.hh"
@@ -44,7 +49,9 @@ usage(const char *argv0)
         "  --jobs N               worker threads for --suite (default:\n"
         "                         NURAPID_JOBS or hardware concurrency)\n"
         "  --org KIND             base | dnuca | snuca | sa-place |\n"
-        "                         nurapid\n"
+        "                         nurapid; 'all' (with --suite) runs\n"
+        "                         every organization in one batch, so\n"
+        "                         the engine gang-schedules them\n"
         "  --dgroups N            NuRAPID d-groups (2/4/8; default 4)\n"
         "  --promotion P          demotion-only | next-fastest | fastest\n"
         "  --distance-repl R      random | lru | tree-plru\n"
@@ -54,6 +61,17 @@ usage(const char *argv0)
         "  --search S             D-NUCA: multicast | ss-performance |\n"
         "                         ss-energy\n"
         "  --scale X              scale simulation length (default 1.0)\n"
+        "  --gang on|off          gang replay: drive every organization\n"
+        "                         sharing a distilled stream through one\n"
+        "                         traversal (default on; same as\n"
+        "                         NURAPID_GANG)\n"
+        "  --dump-cache FILE      print a normalized view of the run\n"
+        "                         cache at FILE and exit: gang-mode key\n"
+        "                         fields stripped, wall_seconds zeroed,\n"
+        "                         sorted — two caches produced with\n"
+        "                         --gang on and --gang off compare\n"
+        "                         byte-equal iff the runs were\n"
+        "                         bit-identical\n"
         "  --stats                dump full statistic groups\n"
         "  --trace-out FILE       write the typed event stream (hits,\n"
         "                         misses, promotions, demotions, swaps,\n"
@@ -82,6 +100,10 @@ usage(const char *argv0)
         "  NURAPID_TRACE_PREGEN    0 disables trace pre-generation\n"
         "                          (per-record live generation instead)\n"
         "  NURAPID_DISTILL         0 disables distilled L2-event replay\n"
+        "  NURAPID_GANG            0 disables gang replay (per-org runs)\n"
+        "  NURAPID_GANG_WIDTH      max organizations per gang\n"
+        "                          (0/unset = unlimited)\n"
+        "  NURAPID_GANG_BLOCK      events per gang interleave block\n"
         "  NURAPID_SIM_SCALE       global simulation-length multiplier\n"
         "  NURAPID_AUDIT           1 enables the invariant-audit layer\n"
         "  NURAPID_AUDIT_INTERVAL  accesses between audit sweeps\n"
@@ -168,6 +190,55 @@ parseSearch(const std::string &s, DNucaSearch &out)
     else
         return false;
     return true;
+}
+
+/** Removes one "name=value;" field from a canonical run-cache key. */
+std::string
+stripKeyField(std::string key, const std::string &name)
+{
+    const std::string prefix = name + "=";
+    std::size_t at = 0;
+    while (at < key.size()) {
+        const std::size_t semi = key.find(';', at);
+        if (semi == std::string::npos)
+            break;
+        if (key.compare(at, prefix.size(), prefix) == 0) {
+            key.erase(at, semi - at + 1);
+            continue;
+        }
+        at = semi + 1;
+    }
+    return key;
+}
+
+/**
+ * Prints the run cache at @p path in a normalized, mode-independent
+ * form: one "key<TAB>metrics" line per entry, gang key fields
+ * stripped, wall_seconds zeroed and from_cache cleared, sorted by the
+ * normalized key. scripts/check.sh diffs two of these dumps to assert
+ * the gang and per-org paths produced bit-identical results.
+ */
+int
+dumpCache(const std::string &path)
+{
+    RunCache cache;
+    const std::size_t n = cache.loadFile(path);
+    fatal_if(n == 0, "--dump-cache: no entries loaded from '%s'",
+             path.c_str());
+    std::vector<std::string> lines;
+    lines.reserve(n);
+    cache.forEachEntry([&](const std::string &key, const RunMetrics &m) {
+        RunMetrics norm = m;
+        norm.wall_seconds = 0.0;
+        norm.from_cache = false;
+        std::string k = stripKeyField(key, "gang");
+        k = stripKeyField(std::move(k), "gang_width");
+        lines.push_back(k + "\t" + runMetricsToJson(norm).dump());
+    });
+    std::sort(lines.begin(), lines.end());
+    for (const auto &line : lines)
+        std::printf("%s\n", line.c_str());
+    return 0;
 }
 
 void
@@ -263,6 +334,17 @@ main(int argc, char **argv)
                 fatal("unknown D-NUCA search policy");
         } else if (arg == "--scale") {
             scale = parseDouble("--scale", value("--scale"), 0.0, 1e6);
+        } else if (arg == "--gang" || arg.rfind("--gang=", 0) == 0) {
+            const std::string v = arg.size() > 6 ? arg.substr(7)
+                                                 : value("--gang");
+            if (v == "on")
+                setenv("NURAPID_GANG", "1", 1);
+            else if (v == "off")
+                setenv("NURAPID_GANG", "0", 1);
+            else
+                fatal("--gang takes 'on' or 'off', not '%s'", v.c_str());
+        } else if (arg == "--dump-cache") {
+            return dumpCache(value("--dump-cache"));
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--trace-out") {
@@ -281,7 +363,13 @@ main(int argc, char **argv)
         }
     }
 
-    if (org == "base") {
+    if (org == "all") {
+        fatal_if(!run_suite, "--org all requires --suite");
+        fatal_if(!trace_out.empty() || !metrics_out.empty() ||
+                     !perfetto_out.empty(),
+                 "--org all does not support observability exports "
+                 "(pick one organization)");
+    } else if (org == "base") {
         spec = OrgSpec::baseline();
     } else if (org == "dnuca") {
         spec = OrgSpec::dnucaSsPerformance();
@@ -313,6 +401,52 @@ main(int argc, char **argv)
             length.warmup_records * scale);
         length.measure_records = static_cast<std::uint64_t>(
             length.measure_records * scale);
+    }
+
+    if (run_suite && org == "all") {
+        // One batch over every organization: the engine groups the
+        // runs of each workload into a gang (or per-org units with
+        // --gang off) — the CLI face of the gang scheduler, and what
+        // scripts/check.sh brackets for bit-identity.
+        RunEngineOptions eopts = RunEngineOptions::fromEnv();
+        if (jobs)
+            eopts.jobs = jobs;
+        RunEngine engine(eopts);
+        std::vector<OrgSpec> specs;
+        specs.push_back(OrgSpec::baseline());
+        specs.push_back(OrgSpec::snucaDefault());
+        specs.push_back(OrgSpec::dnucaSsPerformance());
+        specs.push_back(OrgSpec::coupledSA());
+        specs.push_back(OrgSpec::nurapidDefault(dgroups, promotion,
+                                                drepl));
+        std::printf("running the %zu-workload suite on %zu "
+                    "organizations...\n", workloadSuite().size(),
+                    specs.size());
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto runs = engine.runSuites(specs, workloadSuite(),
+                                           length);
+        const double wall = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+
+        TextTable t;
+        std::vector<std::string> head{"workload"};
+        for (const auto &s : specs)
+            head.push_back(s.description());
+        t.header(head);
+        for (std::size_t j = 0; j < workloadSuite().size(); ++j) {
+            std::vector<std::string> row{workloadSuite()[j].name};
+            for (std::size_t i = 0; i < specs.size(); ++i)
+                row.push_back(TextTable::num(runs[i][j].ipc, 3));
+            t.row(row);
+        }
+        t.print();
+        std::printf("\nIPC per organization; suite wall-clock %.2f s, "
+                    "%llu simulated, %llu cache hits\n", wall,
+                    static_cast<unsigned long long>(
+                        engine.simulatedRuns()),
+                    static_cast<unsigned long long>(engine.cacheHits()));
+        return 0;
     }
 
     if (run_suite) {

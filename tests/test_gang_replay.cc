@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Gang-replay identity harness: the property locking down the
+ * tentpole. For gangs of 2, 3 and 5 organizations over several
+ * workload profiles and phase lengths, a gang traversal must produce
+ * RunMetrics and observability event streams identical per-event to
+ * sequential per-organization runs — including with a tiny
+ * NURAPID_GANG_BLOCK that forces the multi-block slicing path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/gang.hh"
+#include "sim/runner/run_cache.hh"
+#include "sim/runner/run_engine.hh"
+#include "sim/system.hh"
+#include "trace/profiles.hh"
+
+namespace nurapid {
+namespace {
+
+/** The five final organizations, in sweep order. */
+std::vector<OrgSpec>
+allOrgs()
+{
+    return {OrgSpec::baseline(), OrgSpec::nurapidDefault(),
+            OrgSpec::dnucaSsPerformance(), OrgSpec::coupledSA(),
+            OrgSpec::snucaDefault()};
+}
+
+std::vector<OrgSpec>
+firstOrgs(std::size_t n)
+{
+    auto orgs = allOrgs();
+    orgs.resize(n);
+    return orgs;
+}
+
+std::vector<std::unique_ptr<System>>
+buildGroup(const std::vector<OrgSpec> &orgs,
+           const WorkloadProfile &profile, const SimLength &length,
+           const ObsConfig *obs = nullptr)
+{
+    std::vector<std::unique_ptr<System>> group;
+    group.reserve(orgs.size());
+    for (const auto &spec : orgs) {
+        auto sys = std::make_unique<System>(spec, profile, length);
+        if (obs)
+            sys->enableObservability(*obs);
+        group.push_back(std::move(sys));
+    }
+    return group;
+}
+
+std::vector<System *>
+raw(const std::vector<std::unique_ptr<System>> &group)
+{
+    std::vector<System *> out;
+    for (const auto &sys : group)
+        out.push_back(sys.get());
+    return out;
+}
+
+void
+expectSameEvents(const EventSink *a, const EventSink *b,
+                 const std::string &what)
+{
+    ASSERT_NE(a, nullptr) << what;
+    ASSERT_NE(b, nullptr) << what;
+    const auto ea = a->events();
+    const auto eb = b->events();
+    ASSERT_EQ(ea.size(), eb.size()) << what << ": event counts differ";
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        const ObsEvent &x = ea[i];
+        const ObsEvent &y = eb[i];
+        const bool same = x.cycle == y.cycle && x.addr == y.addr &&
+                          x.latency == y.latency && x.kind == y.kind &&
+                          x.from == y.from && x.to == y.to &&
+                          x.flags == y.flags;
+        ASSERT_TRUE(same) << what << ": event " << i << " diverged ("
+                          << obsEventKindName(x.kind) << " vs "
+                          << obsEventKindName(y.kind) << " at cycles "
+                          << x.cycle << " / " << y.cycle << ")";
+    }
+}
+
+/** Runs the gang-vs-sequential identity property for one gang. */
+void
+checkIdentity(const std::vector<OrgSpec> &orgs,
+              const std::string &profile_name, const SimLength &length)
+{
+    const auto &profile = findProfile(profile_name);
+    const std::string what =
+        profile_name + " x" + std::to_string(orgs.size());
+
+    std::vector<RunMetrics> solo;
+    for (const auto &spec : orgs) {
+        System sys(spec, profile, length);
+        solo.push_back(sys.runAll());
+    }
+
+    auto group = buildGroup(orgs, profile, length);
+    ASSERT_TRUE(GangReplayer::eligible(raw(group))) << what;
+    const auto ganged = GangReplayer::runAll(raw(group));
+
+    ASSERT_EQ(ganged.size(), solo.size());
+    for (std::size_t i = 0; i < orgs.size(); ++i) {
+        EXPECT_TRUE(identicalMetrics(solo[i], ganged[i]))
+            << what << ": lane " << i << " ("
+            << orgs[i].description() << ") diverged from its solo run";
+        EXPECT_GT(ganged[i].instructions, 0u);
+    }
+}
+
+TEST(GangReplay, MatchesSequentialRunsAcrossWidthsProfilesAndLengths)
+{
+    const SimLength lengths[] = {{20'000, 60'000}, {0, 40'000}};
+    const char *profiles[] = {"mcf", "art", "swim"};
+    for (const std::size_t width : {2u, 3u, 5u}) {
+        for (const char *profile : profiles) {
+            for (const SimLength &length : lengths)
+                checkIdentity(firstOrgs(width), profile, length);
+        }
+    }
+}
+
+TEST(GangReplay, TinyBlocksExerciseTheMultiBlockPathIdentically)
+{
+    // A 64-event block slices these runs into dozens of segments; the
+    // lanes must still retire the identical stream.
+    setenv("NURAPID_GANG_BLOCK", "64", 1);
+    checkIdentity(firstOrgs(3), "mcf", {20'000, 60'000});
+    checkIdentity(firstOrgs(5), "art", {0, 40'000});
+    unsetenv("NURAPID_GANG_BLOCK");
+}
+
+TEST(GangReplay, ObservabilityEventStreamsMatchPerEvent)
+{
+    const SimLength length{20'000, 60'000};
+    const auto &profile = findProfile("swim");
+    const auto orgs = firstOrgs(3);
+
+    // Events-only and full (events + interval timeline) configs; both
+    // must record the same stream whether the lanes ran solo or ganged.
+    for (const bool with_metrics : {false, true}) {
+        ObsConfig obs;
+        obs.record_events = true;
+        obs.record_metrics = with_metrics;
+        const std::string what =
+            with_metrics ? "full obs" : "events-only obs";
+
+        auto solo = buildGroup(orgs, profile, length, &obs);
+        for (auto &sys : solo)
+            sys->runAll();
+
+        auto ganged = buildGroup(orgs, profile, length, &obs);
+        ASSERT_TRUE(GangReplayer::eligible(raw(ganged))) << what;
+        GangReplayer::runAll(raw(ganged));
+
+        for (std::size_t i = 0; i < orgs.size(); ++i) {
+            expectSameEvents(solo[i]->observabilitySink(),
+                             ganged[i]->observabilitySink(),
+                             what + ": lane " + std::to_string(i));
+        }
+    }
+}
+
+TEST(GangReplay, IneligibleGroupsFallBackToSequentialRuns)
+{
+    const SimLength length{20'000, 60'000};
+    const auto &profile = findProfile("gzip");
+
+    // A singleton group is not a gang.
+    auto one = buildGroup(firstOrgs(1), profile, length);
+    EXPECT_FALSE(GangReplayer::eligible(raw(one)));
+
+    // Mixed phase lengths cannot share a traversal.
+    const SimLength other{20'000, 40'000};
+    auto mixed = buildGroup(firstOrgs(1), profile, length);
+    mixed.push_back(
+        std::make_unique<System>(allOrgs()[1], profile, other));
+    EXPECT_FALSE(GangReplayer::eligible(raw(mixed)));
+
+    // A consumed system cannot rejoin a gang.
+    auto spent = buildGroup(firstOrgs(2), profile, length);
+    spent.front()->runAll();
+    EXPECT_FALSE(GangReplayer::eligible(raw(spent)));
+
+    // runAll on an ineligible group still produces correct results
+    // via the sequential fallback.
+    const auto via_fallback = GangReplayer::runAll(raw(mixed));
+    ASSERT_EQ(via_fallback.size(), mixed.size());
+    EXPECT_TRUE(identicalMetrics(
+        System(firstOrgs(1)[0], profile, length).runAll(),
+        via_fallback[0]));
+    EXPECT_TRUE(identicalMetrics(
+        System(allOrgs()[1], profile, other).runAll(),
+        via_fallback[1]));
+}
+
+TEST(GangReplay, EngineBatchesMatchWithGangOnAndOff)
+{
+    // End to end through the scheduler: the same batch, gang on vs
+    // off, must yield identical metrics for every request.
+    std::vector<RunRequest> reqs;
+    for (const auto &spec : firstOrgs(3)) {
+        for (const char *name : {"mcf", "art"}) {
+            reqs.push_back(RunRequest{spec, findProfile(name),
+                                      SimLength{20'000, 60'000}});
+        }
+    }
+
+    RunEngineOptions on;
+    on.jobs = 1;
+    on.use_cache = false;
+    RunEngineOptions off = on;
+    off.gang.enabled = false;
+
+    auto a = RunEngine(on).runMany(reqs);
+    auto b = RunEngine(off).runMany(reqs);
+    ASSERT_EQ(a.size(), reqs.size());
+    ASSERT_EQ(b.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_TRUE(identicalMetrics(a[i], b[i]))
+            << reqs[i].spec.description() << " / "
+            << reqs[i].profile.name
+            << ": gang scheduling changed the result";
+    }
+}
+
+} // namespace
+} // namespace nurapid

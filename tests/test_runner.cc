@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "sim/gang.hh"
 #include "sim/runner/run_engine.hh"
 #include "sim/system.hh"
 #include "trace/profiles.hh"
@@ -223,6 +224,42 @@ TEST(RunCache, DigestCollisionDegradesToMiss)
     EXPECT_EQ(out.ipc, m.ipc);
     EXPECT_FALSE(cache.lookup(RunKey{"key-B", "00000000deadbeef"}, out))
         << "colliding digest returned the wrong run's metrics";
+}
+
+TEST(RunCache, GangModeSeparatesCacheKeys)
+{
+    // Results produced by the gang replayer and the per-org path are
+    // bit-identical by contract, but the cache must never be the thing
+    // asserting that: a cache populated under one mode has to miss for
+    // the other, so a --gang off verification run really re-simulates.
+    const auto &prof = findProfile("applu");
+    GangMode on;
+    GangMode off;
+    off.enabled = false;
+
+    const auto k_on = fingerprintRun(OrgSpec::baseline(), prof,
+                                     tinyLength(), on);
+    const auto k_off = fingerprintRun(OrgSpec::baseline(), prof,
+                                      tinyLength(), off);
+    EXPECT_NE(k_on.key, k_off.key);
+    EXPECT_NE(k_on.digest, k_off.digest);
+
+    // The gang width changes scheduling, so it separates keys too.
+    GangMode capped;
+    capped.width_cap = 2;
+    EXPECT_NE(fingerprintRun(OrgSpec::baseline(), prof, tinyLength(),
+                             capped).key, k_on.key);
+
+    RunMetrics m;
+    m.workload = "applu";
+    m.ipc = 1.0;
+    RunCache cache;
+    cache.store(k_on, m);
+
+    RunMetrics out;
+    EXPECT_TRUE(cache.lookup(k_on, out));
+    EXPECT_FALSE(cache.lookup(k_off, out))
+        << "gang-mode cache entry served to a gang-off lookup";
 }
 
 TEST(RunCache, TamperedPersistedKeyDegradesToMiss)
