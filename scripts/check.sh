@@ -38,6 +38,24 @@ done
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 start=$(date +%s)
 
+# Runs a command with its full output captured in a log file, then
+# prints only the log's last few lines. A plain `cmd | tail` pipeline
+# would report tail's exit status and let a failing cmd slip past
+# `set -e`; here the command's own status is what propagates, and a
+# failure replays the whole log.
+run_logged() {
+    rl_log="$1"
+    rl_lines="$2"
+    shift 2
+    rl_status=0
+    "$@" > "$rl_log" 2>&1 || rl_status=$?
+    if [ "$rl_status" -ne 0 ]; then
+        cat "$rl_log" >&2
+        return "$rl_status"
+    fi
+    tail -n "$rl_lines" "$rl_log"
+}
+
 for config in $configs; do
     case "$config" in
       release) flags="-DCMAKE_BUILD_TYPE=RelWithDebInfo" ;;
@@ -56,21 +74,23 @@ for config in $configs; do
     cmake --build "$dir" -j "$jobs" >/dev/null
 
     echo "=== [$config] ctest -L tier1 ==="
-    (cd "$dir" && ctest -L tier1 -j "$jobs" --output-on-failure \
-        | tail -n 3)
+    (cd "$dir" && run_logged ctest_tier1.log 3 \
+        ctest -L tier1 -j "$jobs" --output-on-failure)
 
     if [ "$config" = "release" ]; then
         # The distilled-replay fast path defaults on; the whole suite
         # must also hold with the live per-record loop.
         echo "=== [$config] ctest -L tier1 (NURAPID_DISTILL=0) ==="
-        (cd "$dir" && NURAPID_DISTILL=0 ctest -L tier1 -j "$jobs" \
-            --output-on-failure | tail -n 3)
+        (cd "$dir" && export NURAPID_DISTILL=0 &&
+            run_logged ctest_tier1_distill0.log 3 \
+                ctest -L tier1 -j "$jobs" --output-on-failure)
 
         # Gang replay also defaults on; the suite must equally hold
         # with every run scheduled per-organization.
         echo "=== [$config] ctest -L tier1 (NURAPID_GANG=0) ==="
-        (cd "$dir" && NURAPID_GANG=0 ctest -L tier1 -j "$jobs" \
-            --output-on-failure | tail -n 3)
+        (cd "$dir" && export NURAPID_GANG=0 &&
+            run_logged ctest_tier1_gang0.log 3 \
+                ctest -L tier1 -j "$jobs" --output-on-failure)
 
         echo "=== [$config] obs smoke (flight recorder + report) ==="
         obs_dir="$dir/obs_smoke"
@@ -159,9 +179,9 @@ for config in $configs; do
         # profiles) the distillation itself, not just an mmap load.
         rm -f "$dir/trace_cache"/*.dtc
         smoke_log="$dir/perf_smoke.log"
-        NURAPID_SIM_SCALE=0.05 NURAPID_RUN_CACHE="$smoke_cache" \
-            sh scripts/regen_bench.sh "$dir" --quiet 2>&1 \
-            | tee "$smoke_log" | tail -n 2
+        (export NURAPID_SIM_SCALE=0.05 NURAPID_RUN_CACHE="$smoke_cache" &&
+            run_logged "$smoke_log" 2 \
+                sh scripts/regen_bench.sh "$dir" --quiet)
         grep -q '^\[profile\]' "$smoke_log" || {
             echo "perf smoke: no [profile] footer in sweep output" >&2
             exit 1
@@ -179,10 +199,10 @@ for config in $configs; do
         off_cache="$dir/perf_smoke_cache_off.json"
         rm -f "$off_cache"
         off_log="$dir/perf_smoke_off.log"
-        NURAPID_DISTILL=0 NURAPID_SIM_SCALE=0.05 \
-            NURAPID_RUN_CACHE="$off_cache" \
-            sh scripts/regen_bench.sh "$dir" --quiet 2>&1 \
-            | tee "$off_log" | tail -n 1
+        (export NURAPID_DISTILL=0 NURAPID_SIM_SCALE=0.05 \
+            NURAPID_RUN_CACHE="$off_cache" &&
+            run_logged "$off_log" 1 \
+                sh scripts/regen_bench.sh "$dir" --quiet)
         # Sums a named footer bucket ("distill 0.123s" ...) over every
         # [profile] line in a log. Values inside the parenthesized
         # core breakdown carry trailing punctuation ("0.123s)"), so
@@ -218,6 +238,44 @@ for config in $configs; do
             echo "perf smoke: no Gang bucket in the profile" >&2
             exit 1
         }
+
+        # Wall-time ratchet on a representative sim-driven bench: more
+        # than 25% over this host's recorded baseline fails the gate.
+        # The baseline file is per-host so numbers from different
+        # machines never compare against each other; it is recorded on
+        # first run and ratcheted downward on improvement. Delete it to
+        # re-baseline after an intentional slowdown.
+        echo "=== [$config] perf guard (bench_ablation_pointers) ==="
+        guard_dir="scripts/perf-baselines"
+        mkdir -p "$guard_dir"
+        guard_file="$guard_dir/bench_ablation_pointers.$(uname -n).s"
+        guard_log="$dir/perf_guard.log"
+        guard_t0=$(date +%s.%N)
+        (export NURAPID_SIM_SCALE=0.05 &&
+            run_logged "$guard_log" 1 \
+                "$dir/bench/bench_ablation_pointers")
+        guard_t1=$(date +%s.%N)
+        guard_s=$(awk -v a="$guard_t0" -v b="$guard_t1" \
+            'BEGIN { printf "%.2f", b - a }')
+        if [ ! -s "$guard_file" ]; then
+            echo "$guard_s" > "$guard_file"
+            echo "perf guard: recorded baseline ${guard_s}s" \
+                 "in $guard_file"
+        else
+            guard_base=$(cat "$guard_file")
+            echo "perf guard: ${guard_s}s vs baseline ${guard_base}s"
+            awk -v s="$guard_s" -v b="$guard_base" \
+                'BEGIN { exit !(s <= b * 1.25) }' || {
+                echo "perf guard: bench_ablation_pointers took" \
+                     "${guard_s}s, more than 25% over the" \
+                     "${guard_base}s baseline in $guard_file" >&2
+                exit 1
+            }
+            if awk -v s="$guard_s" -v b="$guard_base" \
+                'BEGIN { exit !(s < b) }'; then
+                echo "$guard_s" > "$guard_file"
+            fi
+        fi
     fi
 done
 

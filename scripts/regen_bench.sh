@@ -97,9 +97,14 @@ if [ "${no_cache:-0}" -eq 0 ] && [ -s "$NURAPID_RUN_CACHE" ]; then
     unique_configs=$(grep -o '"key"' "$NURAPID_RUN_CACHE" | wc -l)
 fi
 
+host=$(uname -n 2>/dev/null || echo unknown)
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)
 cat > "$sweep_json" <<EOF
 {
   "schema": 1,
+  "host": "$host",
+  "host_cores": "$cores",
+  "host_note": "wall-clock comparable only to sweeps from the same host state; see EXPERIMENTS.md",
   "cold": $cold,
   "jobs": "${NURAPID_JOBS:-auto}",
   "sim_scale": "${NURAPID_SIM_SCALE:-1}",

@@ -19,8 +19,7 @@ CacheOrg::numBlocks() const
 }
 
 SetAssocCache::SetAssocCache(const CacheOrg &org)
-    : organization(org), sets(org.numSets()),
-      lines(std::size_t{sets} * org.assoc), statGroup(org.name)
+    : organization(org), sets(org.numSets()), statGroup(org.name)
 {
     fatal_if(org.capacity_bytes == 0, "%s: zero capacity",
              org.name.c_str());
@@ -31,21 +30,37 @@ SetAssocCache::SetAssocCache(const CacheOrg &org)
              "%s: capacity not divisible by assoc*block", org.name.c_str());
     fatal_if(!isPowerOf2(sets), "%s: set count %u not pow2",
              org.name.c_str(), sets);
+    fatal_if(org.assoc == 0 || org.assoc > 64,
+             "%s: associativity %u outside the bitmap-word range 1..64",
+             org.name.c_str(), org.assoc);
     blockShift = floorLog2(org.block_bytes);
     tagShift = blockShift + floorLog2(sets);
+
+    strideShift = ceilLog2(org.assoc);
+    wayStride = std::uint32_t{1} << strideShift;
+    waysMask = org.assoc == 64
+        ? ~std::uint64_t{0}
+        : (std::uint64_t{1} << org.assoc) - 1;
+
+    tagPlane.assign(std::size_t{sets} << strideShift, 0);
+    validBits.assign(sets, 0);
+    dirtyBits.assign(sets, 0);
 
     switch (org.repl) {
       case ReplPolicy::LRU:
         // Link each set's ways in index order; the order is arbitrary
         // (every way is touched at fill before the chain is consulted).
         lruHead.assign(sets, 0);
-        lruTail.assign(sets, org.assoc - 1);
+        lruTail.assign(sets, static_cast<std::uint8_t>(org.assoc - 1));
+        lruPrev.assign(std::size_t{sets} << strideShift, 0);
+        lruNext.assign(std::size_t{sets} << strideShift, 0);
         for (std::uint32_t s = 0; s < sets; ++s) {
-            const std::size_t base = std::size_t{s} * org.assoc;
+            const std::size_t base = rowOf(s);
             for (std::uint32_t w = 0; w < org.assoc; ++w) {
-                lines[base + w].prev = w == 0 ? 0 : w - 1;
-                lines[base + w].next =
-                    w + 1 == org.assoc ? w : w + 1;
+                lruPrev[base + w] =
+                    static_cast<std::uint8_t>(w == 0 ? 0 : w - 1);
+                lruNext[base + w] = static_cast<std::uint8_t>(
+                    w + 1 == org.assoc ? w : w + 1);
             }
         }
         break;
@@ -61,43 +76,45 @@ SetAssocCache::SetAssocCache(const CacheOrg &org)
         break;
     }
 
-    statGroup.addCounter("hits", statHits);
-    statGroup.addCounter("misses", statMisses);
-    statGroup.addCounter("evictions", statEvictions);
-    statGroup.addCounter("writebacks", statWritebacks);
+    statGroup.addCounter("hits", cnt.hits);
+    statGroup.addCounter("misses", cnt.misses);
+    statGroup.addCounter("evictions", cnt.evictions);
+    statGroup.addCounter("writebacks", cnt.writebacks);
 }
 
 SetAssocCache::Access
 SetAssocCache::accessMiss(std::uint32_t set, Addr tag, bool is_write)
 {
-    ++statMisses;
+    ++cnt.misses;
 
     Access result;
-    // Prefer an invalid way; otherwise consult the policy.
-    std::uint32_t victim_way = organization.assoc;
-    for (std::uint32_t w = 0; w < organization.assoc; ++w) {
-        if (!line(set, w).valid) {
-            victim_way = w;
-            break;
-        }
-    }
-    if (victim_way == organization.assoc)
+    // Prefer the lowest invalid way; otherwise consult the policy.
+    std::uint32_t victim_way;
+    const std::uint64_t invalid = ~validBits[set] & waysMask;
+    if (invalid)
+        victim_way = static_cast<std::uint32_t>(std::countr_zero(invalid));
+    else
         victim_way = victimWay(set);
 
-    Line &v = line(set, victim_way);
-    if (v.valid) {
-        ++statEvictions;
+    const std::size_t row = rowOf(set);
+    const std::uint64_t way_bit = std::uint64_t{1} << victim_way;
+    if (validBits[set] & way_bit) {
+        ++cnt.evictions;
         result.evicted = true;
         result.evicted_addr =
-            (v.tag * sets + set) * organization.block_bytes;
-        result.evicted_dirty = v.dirty;
-        if (v.dirty)
-            ++statWritebacks;
+            (tagPlane[row + victim_way] * sets + set) *
+            organization.block_bytes;
+        result.evicted_dirty = (dirtyBits[set] & way_bit) != 0;
+        if (result.evicted_dirty)
+            ++cnt.writebacks;
     }
 
-    v.tag = tag;
-    v.valid = true;
-    v.dirty = is_write;
+    tagPlane[row + victim_way] = tag;
+    validBits[set] |= way_bit;
+    if (is_write)
+        dirtyBits[set] |= way_bit;
+    else
+        dirtyBits[set] &= ~way_bit;
     touchRepl(set, victim_way);
 
     result.way = victim_way;
@@ -108,56 +125,48 @@ bool
 SetAssocCache::contains(Addr addr) const
 {
     const std::uint32_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    for (std::uint32_t w = 0; w < organization.assoc; ++w) {
-        const Line &l =
-            lines[std::size_t{set} * organization.assoc + w];
-        if (l.valid && l.tag == tag)
-            return true;
-    }
-    return false;
+    return (probeMatch(&tagPlane[rowOf(set)], wayStride, tagOf(addr)) &
+            validBits[set]) != 0;
 }
 
 bool
 SetAssocCache::markDirty(Addr addr)
 {
     const std::uint32_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    for (std::uint32_t w = 0; w < organization.assoc; ++w) {
-        Line &l = line(set, w);
-        if (l.valid && l.tag == tag) {
-            l.dirty = true;
-            return true;
-        }
-    }
-    return false;
+    const std::uint64_t match =
+        probeMatch(&tagPlane[rowOf(set)], wayStride, tagOf(addr)) &
+        validBits[set];
+    if (!match)
+        return false;
+    dirtyBits[set] |= match & (~match + 1);  // lowest matching way
+    return true;
 }
 
 bool
 SetAssocCache::invalidate(Addr addr)
 {
     const std::uint32_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    for (std::uint32_t w = 0; w < organization.assoc; ++w) {
-        Line &l = line(set, w);
-        if (l.valid && l.tag == tag) {
-            l.valid = false;
-            const bool was_dirty = l.dirty;
-            l.dirty = false;
-            return was_dirty;
-        }
-    }
-    return false;
+    const std::uint64_t match =
+        probeMatch(&tagPlane[rowOf(set)], wayStride, tagOf(addr)) &
+        validBits[set];
+    if (!match)
+        return false;
+    const std::uint64_t way_bit = match & (~match + 1);
+    validBits[set] &= ~way_bit;
+    const bool was_dirty = (dirtyBits[set] & way_bit) != 0;
+    dirtyBits[set] &= ~way_bit;
+    return was_dirty;
 }
 
 void
 SetAssocCache::forEachValid(const std::function<void(Addr, bool)> &fn) const
 {
     for (std::uint32_t s = 0; s < sets; ++s) {
-        for (std::uint32_t w = 0; w < organization.assoc; ++w) {
-            const Line &l = lines[std::size_t{s} * organization.assoc + w];
-            if (l.valid)
-                fn((l.tag * sets + s) * organization.block_bytes, l.dirty);
+        const std::size_t row = rowOf(s);
+        for (std::uint64_t vb = validBits[s]; vb; vb &= vb - 1) {
+            const auto w = static_cast<std::uint32_t>(std::countr_zero(vb));
+            fn((tagPlane[row + w] * sets + s) * organization.block_bytes,
+               (dirtyBits[s] >> w) & 1);
         }
     }
 }
@@ -166,8 +175,8 @@ std::uint64_t
 SetAssocCache::validCount() const
 {
     std::uint64_t n = 0;
-    for (const Line &l : lines)
-        n += l.valid ? 1 : 0;
+    for (std::uint32_t s = 0; s < sets; ++s)
+        n += static_cast<std::uint64_t>(std::popcount(validBits[s]));
     return n;
 }
 
@@ -176,19 +185,18 @@ SetAssocCache::audit(AuditSink &sink) const
 {
     bool clean = true;
     for (std::uint32_t s = 0; s < sets; ++s) {
+        const std::size_t row = rowOf(s);
         for (std::uint32_t w = 0; w < organization.assoc; ++w) {
-            const Line &l = lines[std::size_t{s} * organization.assoc + w];
-            if (!l.valid)
+            if (!((validBits[s] >> w) & 1))
                 continue;
             for (std::uint32_t w2 = w + 1; w2 < organization.assoc; ++w2) {
-                const Line &o =
-                    lines[std::size_t{s} * organization.assoc + w2];
-                if (o.valid && o.tag == l.tag) {
+                if (((validBits[s] >> w2) & 1) &&
+                    tagPlane[row + w2] == tagPlane[row + w]) {
                     clean = false;
                     sink.violation({organization.name, "duplicate-tag",
                                     strprintf("tag %#llx also in way %u",
                                               static_cast<unsigned long long>(
-                                                  l.tag), w2),
+                                                  tagPlane[row + w]), w2),
                                     s, w, AuditViolation::kNoIndex,
                                     AuditViolation::kNoIndex});
                 }
@@ -199,23 +207,23 @@ SetAssocCache::audit(AuditSink &sink) const
     if (organization.repl == ReplPolicy::LRU) {
         // The recency chain must visit every way exactly once from
         // head to tail; a cycle or dropped way corrupts victim choice.
-        std::vector<std::uint8_t> seen(organization.assoc);
         for (std::uint32_t s = 0; s < sets; ++s) {
-            const std::size_t base = std::size_t{s} * organization.assoc;
-            seen.assign(organization.assoc, 0);
+            const std::size_t base = rowOf(s);
+            std::uint64_t seen = 0;
             std::uint32_t w = lruHead[s];
             std::uint32_t visited = 0;
             bool broken = false;
             while (visited < organization.assoc) {
-                if (w >= organization.assoc || seen[w]) {
+                if (w >= organization.assoc ||
+                    ((seen >> w) & 1)) {
                     broken = true;
                     break;
                 }
-                seen[w] = 1;
+                seen |= std::uint64_t{1} << w;
                 ++visited;
                 if (w == lruTail[s])
                     break;
-                w = lines[base + w].next;
+                w = lruNext[base + w];
             }
             if (broken || visited != organization.assoc) {
                 clean = false;
@@ -237,8 +245,8 @@ double
 SetAssocCache::missRatio() const
 {
     const double total =
-        static_cast<double>(statHits.value() + statMisses.value());
-    return total > 0 ? statMisses.value() / total : 0.0;
+        static_cast<double>(cnt.hits.value() + cnt.misses.value());
+    return total > 0 ? cnt.misses.value() / total : 0.0;
 }
 
 } // namespace nurapid

@@ -7,6 +7,14 @@
  * and dirty bits only (this is a performance/energy simulator; no data
  * payloads are stored).
  *
+ * Hot state is laid out structure-of-arrays: one contiguous
+ * std::uint64_t tag plane (rows padded to a power-of-two stride), one
+ * valid and one dirty bitmap word per set, and byte-wide LRU chain
+ * planes — the probe path touches one dense row plus two bitmap words
+ * instead of walking an array of per-Line records. The tag compare
+ * itself is the vectorized kernel of mem/tag_probe.hh. Associativity
+ * is capped at 64 so one bitmap word always covers a set.
+ *
  * The replacement policy is embedded rather than held behind the
  * polymorphic Replacer interface: access() sits inside the simulator's
  * per-reference loop (every L1 I/D reference lands here), so the
@@ -21,6 +29,7 @@
 #ifndef NURAPID_MEM_SET_ASSOC_CACHE_HH
 #define NURAPID_MEM_SET_ASSOC_CACHE_HH
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -30,6 +39,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/replacement.hh"
+#include "mem/tag_probe.hh"
 #include "sim/audit/audit.hh"
 
 namespace nurapid {
@@ -75,18 +85,20 @@ class SetAssocCache
         const std::uint32_t set = setIndex(addr);
         const Addr tag = tagOf(addr);
 
-        for (std::uint32_t w = 0; w < organization.assoc; ++w) {
-            Line &l = line(set, w);
-            if (l.valid && l.tag == tag) {
-                ++statHits;
-                touchRepl(set, w);
-                if (is_write)
-                    l.dirty = true;
-                Access result;
-                result.hit = true;
-                result.way = w;
-                return result;
-            }
+        const std::uint64_t match =
+            probeMatch(&tagPlane[rowOf(set)], wayStride, tag) &
+            validBits[set];
+        if (match) {
+            const auto w = static_cast<std::uint32_t>(
+                std::countr_zero(match));
+            ++cnt.hits;
+            touchRepl(set, w);
+            if (is_write)
+                dirtyBits[set] |= std::uint64_t{1} << w;
+            Access result;
+            result.hit = true;
+            result.way = w;
+            return result;
         }
         return accessMiss(set, tag, is_write);
     }
@@ -104,8 +116,8 @@ class SetAssocCache
     StatGroup &stats() { return statGroup; }
     const StatGroup &stats() const { return statGroup; }
 
-    std::uint64_t hits() const { return statHits.value(); }
-    std::uint64_t misses() const { return statMisses.value(); }
+    std::uint64_t hits() const { return cnt.hits.value(); }
+    std::uint64_t misses() const { return cnt.misses.value(); }
     double missRatio() const;
 
     /** Folds precomputed access outcomes into the counters without
@@ -116,10 +128,10 @@ class SetAssocCache
     foldStats(std::uint64_t fold_hits, std::uint64_t fold_misses,
               std::uint64_t fold_evictions, std::uint64_t fold_writebacks)
     {
-        statHits += fold_hits;
-        statMisses += fold_misses;
-        statEvictions += fold_evictions;
-        statWritebacks += fold_writebacks;
+        cnt.hits += fold_hits;
+        cnt.misses += fold_misses;
+        cnt.evictions += fold_evictions;
+        cnt.writebacks += fold_writebacks;
     }
 
     /** Set index of an address (exposed for hot-set analyses). Block
@@ -144,31 +156,18 @@ class SetAssocCache
      * makes hit way selection order-dependent), and under LRU each
      * set's recency chain is a consistent permutation of its ways.
      * Violations go to @p sink under component name "<org name>";
-     * returns true if clean.
+     * returns true if clean. Allocation-free on the clean path.
      */
     bool audit(AuditSink &sink) const;
 
   private:
-    /** Tag state with the LRU chain node embedded: a hit touches one
-     *  array entry for both the tag match and the recency splice
-     *  instead of spreading them over two vectors. The chain fields
-     *  are way indices within the line's set; they are only
-     *  maintained under ReplPolicy::LRU. */
-    struct Line
-    {
-        Addr tag = 0;
-        std::uint32_t prev = 0;
-        std::uint32_t next = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
-
     Addr tagOf(Addr addr) const { return addr >> tagShift; }
 
-    Line &
-    line(std::uint32_t set, std::uint32_t way)
+    /** First word of @p set's row in the way-indexed planes. */
+    std::size_t
+    rowOf(std::uint32_t set) const
     {
-        return lines[std::size_t{set} * organization.assoc + way];
+        return std::size_t{set} << strideShift;
     }
 
     /** Miss path of access(): victim selection and fill. */
@@ -211,18 +210,19 @@ class SetAssocCache
     {
         if (lruHead[set] == way)
             return;
-        const std::size_t base = std::size_t{set} * organization.assoc;
-        Line &n = lines[base + way];
+        const std::size_t row = rowOf(set);
+        const std::uint8_t prev = lruPrev[row + way];
+        const std::uint8_t next = lruNext[row + way];
         // Unlink (way is not head, so it has a live prev).
-        lines[base + n.prev].next = n.next;
+        lruNext[row + prev] = next;
         if (lruTail[set] == way)
-            lruTail[set] = n.prev;
+            lruTail[set] = prev;
         else
-            lines[base + n.next].prev = n.prev;
+            lruPrev[row + next] = prev;
         // Relink at head.
-        n.next = lruHead[set];
-        lines[base + lruHead[set]].prev = way;
-        lruHead[set] = way;
+        lruNext[row + way] = lruHead[set];
+        lruPrev[row + lruHead[set]] = static_cast<std::uint8_t>(way);
+        lruHead[set] = static_cast<std::uint8_t>(way);
     }
 
     void
@@ -268,23 +268,39 @@ class SetAssocCache
 
     CacheOrg organization;
     std::uint32_t sets;
-    unsigned blockShift = 0;  //!< log2(block_bytes)
-    unsigned tagShift = 0;    //!< log2(block_bytes * sets)
-    std::vector<Line> lines;  //!< [set * assoc + way]
+    unsigned blockShift = 0;   //!< log2(block_bytes)
+    unsigned tagShift = 0;     //!< log2(block_bytes * sets)
+    std::uint32_t wayStride = 1;  //!< pow2 plane row width >= assoc
+    unsigned strideShift = 0;     //!< log2(wayStride)
+    std::uint64_t waysMask = 0;   //!< low assoc bits set
 
-    // Embedded replacement state (only the active policy's vectors are
-    // populated; the LRU chain itself lives inside Line).
-    std::vector<std::uint32_t> lruHead;  //!< MRU way per set
-    std::vector<std::uint32_t> lruTail;  //!< LRU way per set
+    // Structure-of-arrays tag state: [set << strideShift | way] planes
+    // plus one bitmap word per set.
+    std::vector<std::uint64_t> tagPlane;
+    std::vector<std::uint64_t> validBits;  //!< [set]
+    std::vector<std::uint64_t> dirtyBits;  //!< [set]
+
+    // Embedded replacement state (only the active policy's planes are
+    // populated). The LRU chain stores way indices per set.
+    std::vector<std::uint8_t> lruPrev;   //!< [set << strideShift | way]
+    std::vector<std::uint8_t> lruNext;   //!< [set << strideShift | way]
+    std::vector<std::uint8_t> lruHead;   //!< MRU way per set
+    std::vector<std::uint8_t> lruTail;   //!< LRU way per set
     std::uint32_t plruNodesPerSet = 0;
     std::vector<std::uint8_t> plruTree;  //!< [set * nodesPerSet + node]
     Rng replRng;
 
     StatGroup statGroup;
-    Counter statHits;
-    Counter statMisses;
-    Counter statEvictions;
-    Counter statWritebacks;
+    /** Counters grouped into one cache line so a gang lane's stat
+     *  updates dirty a single line instead of four scattered ones. */
+    struct alignas(64) Counters
+    {
+        Counter hits;
+        Counter misses;
+        Counter evictions;
+        Counter writebacks;
+    };
+    Counters cnt;
 };
 
 } // namespace nurapid

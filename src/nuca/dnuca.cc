@@ -1,9 +1,13 @@
 #include "nuca/dnuca.hh"
 
 #include <algorithm>
+#include <bit>
+#include <utility>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "mem/tag_probe.hh"
+#include "sim/profile/profile.hh"
 
 namespace nurapid {
 
@@ -15,14 +19,15 @@ DNucaCache::DNucaCache(const SramMacroModel &model, const Params &params)
           p.capacity_bytes / (std::uint64_t{p.assoc} * p.block_bytes))),
       waysPerRow(p.assoc / p.rows),
       partialMask((Addr{1} << p.partial_tag_bits) - 1),
-      lines(std::size_t{sets} * p.assoc),
-      stamps(std::size_t{sets} * p.assoc, 0),
       bankFree(std::size_t{p.rows} * p.cols, 0),
       mem(p.memory), statGroup(p.name), regionHist(p.rows)
 {
     fatal_if(p.assoc % p.rows != 0,
              "associativity %u not divisible across %u bank rows",
              p.assoc, p.rows);
+    fatal_if(p.assoc == 0 || p.assoc > 64,
+             "associativity %u outside the bitmap-word range 1..64",
+             p.assoc);
     fatal_if(!isPowerOf2(sets), "set count %u not a power of two", sets);
     fatal_if(!isPowerOf2(p.cols), "bank-set count %u not a power of two",
              p.cols);
@@ -31,18 +36,28 @@ DNucaCache::DNucaCache(const SramMacroModel &model, const Params &params)
     blockShift = floorLog2(p.block_bytes);
     tagShift = blockShift + floorLog2(sets);
 
-    statGroup.addCounter("demand_accesses", statDemandAccesses);
-    statGroup.addCounter("writeback_accesses", statWritebackAccesses);
-    statGroup.addCounter("hits", statHits);
-    statGroup.addCounter("misses", statMisses);
-    statGroup.addCounter("evictions", statEvictions);
-    statGroup.addCounter("promotions", statPromotions);
-    statGroup.addCounter("block_moves", statBlockMoves);
-    statGroup.addCounter("bank_data_accesses", statBankDataAccesses);
-    statGroup.addCounter("bank_search_probes", statBankSearchProbes);
-    statGroup.addCounter("ss_probes", statSsProbes);
-    statGroup.addCounter("false_partial_hits", statFalsePartialHits);
-    statGroup.addCounter("bank_wait_cycles", statBankWaitCycles);
+    strideShift = ceilLog2(p.assoc);
+    wayStride = std::uint32_t{1} << strideShift;
+    waysMask = p.assoc == 64
+        ? ~std::uint64_t{0}
+        : (std::uint64_t{1} << p.assoc) - 1;
+    tagPlane.assign(std::size_t{sets} << strideShift, 0);
+    validBits.assign(sets, 0);
+    dirtyBits.assign(sets, 0);
+    stamps.assign(std::size_t{sets} << strideShift, 0);
+
+    statGroup.addCounter("demand_accesses", cnt.demandAccesses);
+    statGroup.addCounter("writeback_accesses", cnt.writebackAccesses);
+    statGroup.addCounter("hits", cnt.hits);
+    statGroup.addCounter("misses", cnt.misses);
+    statGroup.addCounter("evictions", cnt.evictions);
+    statGroup.addCounter("promotions", cnt.promotions);
+    statGroup.addCounter("block_moves", cnt.blockMoves);
+    statGroup.addCounter("bank_data_accesses", cnt.bankDataAccesses);
+    statGroup.addCounter("bank_search_probes", cnt.bankSearchProbes);
+    statGroup.addCounter("ss_probes", cnt.ssProbes);
+    statGroup.addCounter("false_partial_hits", cnt.falsePartialHits);
+    statGroup.addCounter("bank_wait_cycles", cnt.bankWaitCycles);
 }
 
 std::uint32_t
@@ -70,28 +85,28 @@ DNucaCache::rowOfWay(std::uint32_t way) const
     return way / waysPerRow;
 }
 
-DNucaCache::Line &
-DNucaCache::line(std::uint32_t set, std::uint32_t way)
-{
-    return lines[std::size_t{set} * p.assoc + way];
-}
-
 void
 DNucaCache::touch(std::uint32_t set, std::uint32_t way)
 {
-    stamps[std::size_t{set} * p.assoc + way] = ++clock;
+    stamps[rowBase(set) + way] = ++clock;
 }
 
 std::uint32_t
 DNucaCache::lruWayInRow(std::uint32_t set, std::uint32_t row) const
 {
     const std::uint32_t first = row * waysPerRow;
+    const std::size_t base = rowBase(set);
+    // Lowest invalid way of the row wins outright.
+    const std::uint64_t row_invalid =
+        (~validBits[set] >> first) &
+        ((std::uint64_t{1} << waysPerRow) - 1);
+    if (row_invalid) {
+        return first +
+            static_cast<std::uint32_t>(std::countr_zero(row_invalid));
+    }
     std::uint32_t best = first;
     for (std::uint32_t w = first; w < first + waysPerRow; ++w) {
-        const std::size_t idx = std::size_t{set} * p.assoc + w;
-        if (!lines[idx].valid)
-            return w;
-        if (stamps[idx] < stamps[std::size_t{set} * p.assoc + best])
+        if (stamps[base + w] < stamps[base + best])
             best = w;
     }
     return best;
@@ -103,7 +118,7 @@ DNucaCache::acquireBank(std::uint32_t row, std::uint32_t col, Cycle at,
 {
     Cycle &free = bankFree[std::size_t{row} * p.cols + col];
     const Cycle start = std::max(at, free);
-    statBankWaitCycles += start - at;
+    cnt.bankWaitCycles += start - at;
     free = start + (busy ? busy : times.bank_busy);
     return start;
 }
@@ -116,9 +131,9 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
     const bool is_write = type == AccessType::Write || is_writeback;
 
     if (is_writeback)
-        ++statWritebackAccesses;
+        ++cnt.writebackAccesses;
     else
-        ++statDemandAccesses;
+        ++cnt.demandAccesses;
 
     const std::uint32_t set = setOf(block);
     const std::uint32_t col = colOf(set);
@@ -126,22 +141,29 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
     const Addr partial = tag & partialMask;
 
     // Ground truth: which way (if any) holds the block, and which rows
-    // the smart-search array would flag as partial-tag matches.
-    std::uint32_t hit_way = p.assoc;
-    bool row_matches[32] = {};
-    panic_if(p.rows > 32, "bank row count exceeds match bitmap");
-    for (std::uint32_t w = 0; w < p.assoc; ++w) {
-        const Line &l = lines[std::size_t{set} * p.assoc + w];
-        if (!l.valid)
-            continue;
-        if (l.tag == tag)
-            hit_way = w;
-        if ((l.tag & partialMask) == partial)
-            row_matches[rowOfWay(w)] = true;
+    // the smart-search array would flag as partial-tag matches. Two
+    // vector probes over the set's tag row replace the way-by-way scan;
+    // the valid bitmap also clears the padding lanes. The historical
+    // scan kept the *last* matching way, hence the countl_zero reduce
+    // (first and last coincide on audit-clean state anyway).
+    std::uint64_t full_match, partial_match;
+    {
+        NURAPID_PROFILE_SCOPE(Probe);
+        const std::uint64_t *row = &tagPlane[rowBase(set)];
+        full_match = probeMatch(row, wayStride, tag) & validBits[set];
+        partial_match =
+            probeMatchMasked(row, wayStride, partialMask, partial) &
+            validBits[set];
     }
-    const bool any_partial = std::any_of(row_matches,
-                                         row_matches + p.rows,
-                                         [](bool b) { return b; });
+    const std::uint32_t hit_way = full_match
+        ? 63 - static_cast<std::uint32_t>(std::countl_zero(full_match))
+        : p.assoc;
+    const std::uint64_t row_mask_base =
+        (std::uint64_t{1} << waysPerRow) - 1;
+    const auto rowMatches = [&](std::uint32_t r) {
+        return ((partial_match >> (r * waysPerRow)) & row_mask_base) != 0;
+    };
+    const bool any_partial = partial_match != 0;
 
     Result result;
     Cycles lookup_lat = 0;
@@ -149,22 +171,22 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
     if (p.search == DNucaSearch::SsEnergy) {
         // Probe the smart-search array, then walk only the banks whose
         // partial tags matched, closest first, until the real hit.
-        ++statSsProbes;
+        ++cnt.ssProbes;
         cacheEnergy += times.ss_access_nj;
         lookup_lat = times.ss_latency;
         const std::uint32_t hit_row =
             hit_way < p.assoc ? rowOfWay(hit_way) : p.rows;
         for (std::uint32_t r = 0; r < p.rows; ++r) {
-            if (!row_matches[r])
+            if (!rowMatches(r))
                 continue;
-            ++statBankDataAccesses;
+            ++cnt.bankDataAccesses;
             cacheEnergy += times.bank(r, col).access_nj;
             const Cycle start = acquireBank(r, col, now + lookup_lat);
             lookup_lat = static_cast<Cycles>(start - now) +
                 times.bank(r, col).latency;
             if (r == hit_row)
                 break;
-            ++statFalsePartialHits;
+            ++cnt.falsePartialHits;
         }
     } else {
         // Multicast search: every bank of the bank set performs its
@@ -172,13 +194,13 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
         // compare — this is what makes multicast searching so
         // energy-hungry); the owner returns the data at its latency.
         for (std::uint32_t r = 0; r < p.rows; ++r) {
-            ++statBankSearchProbes;
-            ++statBankDataAccesses;
+            ++cnt.bankSearchProbes;
+            ++cnt.bankDataAccesses;
             cacheEnergy += times.bank(r, col).access_nj;
             acquireBank(r, col, now);
         }
         if (p.search == DNucaSearch::SsPerformance) {
-            ++statSsProbes;
+            ++cnt.ssProbes;
             cacheEnergy += times.ss_access_nj;
         }
         if (hit_way < p.assoc) {
@@ -195,7 +217,7 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
         } else {
             // Miss resolved only when the slowest searched bank replies.
             if (any_partial)
-                ++statFalsePartialHits;
+                ++cnt.falsePartialHits;
             lookup_lat = times.maxLatencyOfMB(p.rows - 1);
         }
     }
@@ -203,12 +225,12 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
     if (hit_way < p.assoc) {
         const std::uint32_t r = rowOfWay(hit_way);
         if (!is_writeback) {
-            ++statHits;
+            ++cnt.hits;
             regionHist.sample(r);
         }
         touch(set, hit_way);
         if (is_write)
-            line(set, hit_way).dirty = true;
+            dirtyBits[set] |= std::uint64_t{1} << hit_way;
 
         // Bubble promotion: swap with a block one bank closer (demand
         // hits only; L1 writebacks update in place).
@@ -216,17 +238,19 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
             const std::uint32_t victim = lruWayInRow(set, r - 1);
             // An invalid victim way makes the "swap" a pure inward move.
             if (obsSink) [[unlikely]] {
-                if (line(set, victim).valid)
+                if ((validBits[set] >> victim) & 1)
                     obsSink->swap(now, block, r, r - 1);
                 else
                     obsSink->promotion(now, block, r, r - 1);
             }
-            std::swap(line(set, hit_way), line(set, victim));
-            std::swap(stamps[std::size_t{set} * p.assoc + hit_way],
-                      stamps[std::size_t{set} * p.assoc + victim]);
-            ++statPromotions;
-            statBlockMoves += 2;
-            statBankDataAccesses += 4;
+            const std::size_t base = rowBase(set);
+            std::swap(tagPlane[base + hit_way], tagPlane[base + victim]);
+            swapBits(validBits[set], hit_way, victim);
+            swapBits(dirtyBits[set], hit_way, victim);
+            std::swap(stamps[base + hit_way], stamps[base + victim]);
+            ++cnt.promotions;
+            cnt.blockMoves += 2;
+            cnt.bankDataAccesses += 4;
             cacheEnergy += times.swapEnergy(r - 1, r, col);
             // Both banks stay occupied while the two blocks are in
             // flight; closely-following accesses to either (e.g. the
@@ -251,42 +275,48 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
 
     // Miss path.
     if (!is_writeback)
-        ++statMisses;
+        ++cnt.misses;
     if (obsSink && is_writeback) [[unlikely]]
         obsSink->writeback(now, block);
 
     // Prefer an invalid way (slowest rows first); otherwise evict the
     // slowest way of the set — which need not be the set-LRU block.
     std::uint32_t dest_way = p.assoc;
+    const std::uint64_t invalid = ~validBits[set] & waysMask;
     for (std::uint32_t r = p.rows; r-- > 0 && dest_way == p.assoc;) {
         const std::uint32_t first = r * waysPerRow;
-        for (std::uint32_t w = first; w < first + waysPerRow; ++w) {
-            if (!line(set, w).valid) {
-                dest_way = w;
-                break;
-            }
+        const std::uint64_t row_invalid =
+            (invalid >> first) & ((std::uint64_t{1} << waysPerRow) - 1);
+        if (row_invalid) {
+            dest_way = first +
+                static_cast<std::uint32_t>(std::countr_zero(row_invalid));
         }
     }
     if (dest_way == p.assoc) {
         dest_way = lruWayInRow(set, p.rows - 1);
-        Line &v = line(set, dest_way);
-        ++statEvictions;
-        ++statBankDataAccesses;
+        const std::uint64_t way_bit = std::uint64_t{1} << dest_way;
+        ++cnt.evictions;
+        ++cnt.bankDataAccesses;
         cacheEnergy += times.bank(p.rows - 1, col).access_nj;
-        recordEviction(result, (v.tag * sets + set) * p.block_bytes,
-                       v.dirty, now);
-        if (v.dirty)
+        recordEviction(result,
+                       (tagPlane[rowBase(set) + dest_way] * sets + set) *
+                           p.block_bytes,
+                       (dirtyBits[set] & way_bit) != 0, now);
+        if (dirtyBits[set] & way_bit)
             mem.write(p.block_bytes);
-        v.valid = false;
+        validBits[set] &= ~way_bit;
     }
 
     const std::uint32_t dest_row = rowOfWay(dest_way);
-    Line &d = line(set, dest_way);
-    d.tag = tag;
-    d.valid = true;
-    d.dirty = is_write;
+    const std::uint64_t dest_bit = std::uint64_t{1} << dest_way;
+    tagPlane[rowBase(set) + dest_way] = tag;
+    validBits[set] |= dest_bit;
+    if (is_write)
+        dirtyBits[set] |= dest_bit;
+    else
+        dirtyBits[set] &= ~dest_bit;
     touch(set, dest_way);
-    ++statBankDataAccesses;
+    ++cnt.bankDataAccesses;
     cacheEnergy += times.bank(dest_row, col).access_nj;
 
     const Cycles mem_lat = mem.read(p.block_bytes);
@@ -311,9 +341,10 @@ DNucaCache::regionOccupancy(std::vector<std::uint64_t> &out) const
 {
     out.assign(p.rows, 0);
     for (std::uint32_t s = 0; s < sets; ++s) {
-        for (std::uint32_t w = 0; w < p.assoc; ++w) {
-            if (lines[std::size_t{s} * p.assoc + w].valid)
-                ++out[rowOfWay(w)];
+        for (std::uint64_t vb = validBits[s]; vb; vb &= vb - 1) {
+            const auto w =
+                static_cast<std::uint32_t>(std::countr_zero(vb));
+            ++out[rowOfWay(w)];
         }
     }
 }
@@ -322,10 +353,12 @@ void
 DNucaCache::forEachResident(const ResidentFn &fn) const
 {
     for (std::uint32_t s = 0; s < sets; ++s) {
-        for (std::uint32_t w = 0; w < p.assoc; ++w) {
-            const Line &l = lines[std::size_t{s} * p.assoc + w];
-            if (l.valid)
-                fn((l.tag * sets + s) * p.block_bytes, l.dirty);
+        const std::size_t base = rowBase(s);
+        for (std::uint64_t vb = validBits[s]; vb; vb &= vb - 1) {
+            const auto w =
+                static_cast<std::uint32_t>(std::countr_zero(vb));
+            fn((tagPlane[base + w] * sets + s) * p.block_bytes,
+               (dirtyBits[s] >> w) & 1);
         }
     }
 }
@@ -335,32 +368,31 @@ DNucaCache::audit(AuditSink &sink) const
 {
     bool clean = true;
     for (std::uint32_t s = 0; s < sets; ++s) {
+        const std::size_t base = rowBase(s);
         for (std::uint32_t w = 0; w < p.assoc; ++w) {
-            const std::size_t idx = std::size_t{s} * p.assoc + w;
-            const Line &l = lines[idx];
-            if (!l.valid)
+            if (!((validBits[s] >> w) & 1))
                 continue;
             // A duplicate tag makes the multicast search ambiguous:
             // two banks would answer the same request.
             for (std::uint32_t w2 = w + 1; w2 < p.assoc; ++w2) {
-                const Line &o = lines[std::size_t{s} * p.assoc + w2];
-                if (o.valid && o.tag == l.tag) {
+                if (((validBits[s] >> w2) & 1) &&
+                    tagPlane[base + w2] == tagPlane[base + w]) {
                     clean = false;
                     sink.violation({p.name, "duplicate-tag",
                                     strprintf("tag %#llx also in way %u",
                                               static_cast<
                                                   unsigned long long>(
-                                                  l.tag), w2),
+                                                  tagPlane[base + w]), w2),
                                     s, w, AuditViolation::kNoIndex,
                                     AuditViolation::kNoIndex});
                 }
             }
-            if (stamps[idx] > clock) {
+            if (stamps[base + w] > clock) {
                 clean = false;
                 sink.violation({p.name, "stamp-beyond-clock",
                                 strprintf("stamp %llu > clock %llu",
                                           static_cast<unsigned long long>(
-                                              stamps[idx]),
+                                              stamps[base + w]),
                                           static_cast<unsigned long long>(
                                               clock)),
                                 s, w, AuditViolation::kNoIndex,

@@ -82,20 +82,19 @@ class DNucaCache final : public LowerMemory
     const DNucaTiming &timing() const { return times; }
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
-
     std::uint32_t setOf(Addr block) const;
     Addr tagOf(Addr block) const;
     std::uint32_t colOf(std::uint32_t set) const;
     std::uint32_t rowOfWay(std::uint32_t way) const;
     std::uint32_t lruWayInRow(std::uint32_t set, std::uint32_t row) const;
-    Line &line(std::uint32_t set, std::uint32_t way);
     void touch(std::uint32_t set, std::uint32_t way);
+
+    /** First word of @p set's row in the way-indexed planes. */
+    std::size_t
+    rowBase(std::uint32_t set) const
+    {
+        return std::size_t{set} << strideShift;
+    }
 
     /** Waits for and occupies bank (row, col) for @p busy cycles
      *  (0 = the standard per-access occupancy); returns the start. */
@@ -108,9 +107,18 @@ class DNucaCache final : public LowerMemory
     std::uint32_t waysPerRow;
     unsigned blockShift = 0;  //!< log2(block_bytes)
     unsigned tagShift = 0;    //!< log2(block_bytes * sets)
+    std::uint32_t wayStride = 1;  //!< pow2 plane row width >= assoc
+    unsigned strideShift = 0;     //!< log2(wayStride)
+    std::uint64_t waysMask = 0;   //!< low assoc bits set
     Addr partialMask;
-    std::vector<Line> lines;
-    std::vector<std::uint64_t> stamps;
+
+    // Structure-of-arrays tag state: [set << strideShift | way] planes
+    // plus one bitmap word per set. The stamp plane shares the padded
+    // row indexing so every per-way lookup reuses one row offset.
+    std::vector<std::uint64_t> tagPlane;
+    std::vector<std::uint64_t> validBits;  //!< [set]
+    std::vector<std::uint64_t> dirtyBits;  //!< [set]
+    std::vector<std::uint64_t> stamps;     //!< LRU stamps, plane-indexed
     std::uint64_t clock = 0;
     std::vector<Cycle> bankFree;  //!< [row * cols + col]
     MainMemory mem;
@@ -118,18 +126,24 @@ class DNucaCache final : public LowerMemory
     std::uint64_t auditTick = 0;  //!< periodic-audit access counter
 
     StatGroup statGroup;
-    Counter statDemandAccesses;
-    Counter statWritebackAccesses;
-    Counter statHits;
-    Counter statMisses;
-    Counter statEvictions;
-    Counter statPromotions;
-    Counter statBlockMoves;
-    Counter statBankDataAccesses;   //!< data-array reads/writes
-    Counter statBankSearchProbes;   //!< tag-only probes during search
-    Counter statSsProbes;
-    Counter statFalsePartialHits;
-    Counter statBankWaitCycles;
+    /** Counters packed into one cache-line-aligned block so gang lanes
+     *  stop dirtying 12 scattered counter lines. */
+    struct alignas(64) Counters
+    {
+        Counter demandAccesses;
+        Counter writebackAccesses;
+        Counter hits;
+        Counter misses;
+        Counter bankDataAccesses;   //!< data-array reads/writes
+        Counter bankSearchProbes;   //!< tag-only probes during search
+        Counter ssProbes;
+        Counter bankWaitCycles;
+        Counter evictions;
+        Counter promotions;
+        Counter blockMoves;
+        Counter falsePartialHits;
+    };
+    Counters cnt;
     Histogram regionHist;
 };
 

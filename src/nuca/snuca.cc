@@ -25,11 +25,11 @@ SNucaCache::SNucaCache(const SramMacroModel &model, const Params &params)
             p.assoc, p.block_bytes, ReplPolicy::LRU, b + 1});
     }
 
-    statGroup.addCounter("demand_accesses", statDemandAccesses);
-    statGroup.addCounter("writeback_accesses", statWritebackAccesses);
-    statGroup.addCounter("hits", statHits);
-    statGroup.addCounter("misses", statMisses);
-    statGroup.addCounter("bank_wait_cycles", statBankWaitCycles);
+    statGroup.addCounter("demand_accesses", cnt.demandAccesses);
+    statGroup.addCounter("writeback_accesses", cnt.writebackAccesses);
+    statGroup.addCounter("hits", cnt.hits);
+    statGroup.addCounter("misses", cnt.misses);
+    statGroup.addCounter("bank_wait_cycles", cnt.bankWaitCycles);
 }
 
 std::uint32_t
@@ -49,9 +49,9 @@ SNucaCache::access(Addr addr, AccessType type, Cycle now)
     const bool is_write = type == AccessType::Write || is_writeback;
 
     if (is_writeback)
-        ++statWritebackAccesses;
+        ++cnt.writebackAccesses;
     else
-        ++statDemandAccesses;
+        ++cnt.demandAccesses;
 
     const std::uint32_t bank_idx = bankOf(block);
     const std::uint32_t row = bank_idx / p.cols;
@@ -60,7 +60,7 @@ SNucaCache::access(Addr addr, AccessType type, Cycle now)
     // Bank occupancy (S-NUCA is multibanked like D-NUCA).
     Cycle &free = bankFree[bank_idx];
     const Cycle start = std::max(now, free);
-    statBankWaitCycles += start - now;
+    cnt.bankWaitCycles += start - now;
     free = start + times.bank_busy;
 
     cacheEnergy += times.bank(row, col).access_nj;
@@ -78,7 +78,7 @@ SNucaCache::access(Addr addr, AccessType type, Cycle now)
     const auto wait = static_cast<Cycles>(start - now);
     if (r.hit) {
         if (!is_writeback) {
-            ++statHits;
+            ++cnt.hits;
             regionHist.sample(row);
         }
         result.hit = true;
@@ -88,7 +88,7 @@ SNucaCache::access(Addr addr, AccessType type, Cycle now)
             obsSink->hit(now, block, row, result.latency);
     } else {
         if (!is_writeback)
-            ++statMisses;
+            ++cnt.misses;
         const Cycles mem_lat = mem.read(p.block_bytes);
         cacheEnergy += times.bank(row, col).access_nj;  // fill write
         result.hit = false;

@@ -71,11 +71,17 @@ class SNucaCache final : public LowerMemory
     EnergyNJ cacheEnergy = 0;
 
     StatGroup statGroup;
-    Counter statDemandAccesses;
-    Counter statWritebackAccesses;
-    Counter statHits;
-    Counter statMisses;
-    Counter statBankWaitCycles;
+    /** Counters packed into one cache-line-aligned block so gang lanes
+     *  stop dirtying 5 scattered counter lines. */
+    struct alignas(64) Counters
+    {
+        Counter demandAccesses;
+        Counter writebackAccesses;
+        Counter hits;
+        Counter misses;
+        Counter bankWaitCycles;
+    };
+    Counters cnt;
     Histogram regionHist;
 };
 

@@ -1,9 +1,13 @@
 #include "nurapid/coupled_nuca.hh"
 
 #include <algorithm>
+#include <bit>
+#include <utility>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "mem/tag_probe.hh"
+#include "sim/profile/profile.hh"
 
 namespace nurapid {
 
@@ -15,28 +19,37 @@ CoupledNucaCache::CoupledNucaCache(const SramMacroModel &model,
       sets(static_cast<std::uint32_t>(
           p.capacity_bytes / (std::uint64_t{p.assoc} * p.block_bytes))),
       waysPerGroup(p.assoc / p.num_dgroups),
-      lines(std::size_t{sets} * p.assoc),
-      stamps(std::size_t{sets} * p.assoc, 0),
       mem(p.memory), statGroup(p.name), regionHist(p.num_dgroups)
 {
     fatal_if(p.assoc % p.num_dgroups != 0,
              "associativity %u not divisible across %u d-groups",
              p.assoc, p.num_dgroups);
+    fatal_if(p.assoc == 0 || p.assoc > 64,
+             "associativity %u outside the bitmap range 1..64", p.assoc);
     fatal_if(!isPowerOf2(sets), "set count %u not a power of two", sets);
     fatal_if(!isPowerOf2(p.block_bytes),
              "block size %u not a power of two", p.block_bytes);
     blockShift = floorLog2(p.block_bytes);
     tagShift = blockShift + floorLog2(sets);
 
-    statGroup.addCounter("demand_accesses", statDemandAccesses);
-    statGroup.addCounter("writeback_accesses", statWritebackAccesses);
-    statGroup.addCounter("hits", statHits);
-    statGroup.addCounter("misses", statMisses);
-    statGroup.addCounter("evictions", statEvictions);
-    statGroup.addCounter("promotions", statPromotions);
-    statGroup.addCounter("demotions", statDemotions);
-    statGroup.addCounter("block_moves", statBlockMoves);
-    statGroup.addCounter("dgroup_accesses", statDGroupAccesses);
+    strideShift = ceilLog2(p.assoc);
+    wayStride = std::uint32_t{1} << strideShift;
+    waysMask = p.assoc == 64 ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << p.assoc) - 1;
+    tagPlane.assign(std::size_t{sets} << strideShift, 0);
+    stamps.assign(std::size_t{sets} << strideShift, 0);
+    validBits.assign(sets, 0);
+    dirtyBits.assign(sets, 0);
+
+    statGroup.addCounter("demand_accesses", cnt.demandAccesses);
+    statGroup.addCounter("writeback_accesses", cnt.writebackAccesses);
+    statGroup.addCounter("hits", cnt.hits);
+    statGroup.addCounter("misses", cnt.misses);
+    statGroup.addCounter("evictions", cnt.evictions);
+    statGroup.addCounter("promotions", cnt.promotions);
+    statGroup.addCounter("demotions", cnt.demotions);
+    statGroup.addCounter("block_moves", cnt.blockMoves);
+    statGroup.addCounter("dgroup_accesses", cnt.dgroupAccesses);
 }
 
 std::uint32_t
@@ -45,29 +58,24 @@ CoupledNucaCache::groupOfWay(std::uint32_t way) const
     return way / waysPerGroup;
 }
 
-CoupledNucaCache::Line &
-CoupledNucaCache::line(std::uint32_t set, std::uint32_t way)
-{
-    return lines[std::size_t{set} * p.assoc + way];
-}
-
 void
 CoupledNucaCache::touch(std::uint32_t set, std::uint32_t way)
 {
-    stamps[std::size_t{set} * p.assoc + way] = ++clock;
+    stamps[rowBase(set) | way] = ++clock;
 }
 
 std::uint32_t
 CoupledNucaCache::lruWayInGroup(std::uint32_t set,
                                 std::uint32_t group) const
 {
+    const std::size_t row = rowBase(set);
+    const std::uint64_t vb = validBits[set];
     const std::uint32_t first = group * waysPerGroup;
     std::uint32_t best = first;
     for (std::uint32_t w = first; w < first + waysPerGroup; ++w) {
-        const std::size_t idx = std::size_t{set} * p.assoc + w;
-        if (!lines[idx].valid)
+        if (!((vb >> w) & 1))
             return w;
-        if (stamps[idx] < stamps[std::size_t{set} * p.assoc + best])
+        if (stamps[row | w] < stamps[row | best])
             best = w;
     }
     return best;
@@ -81,9 +89,9 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
     const bool is_write = type == AccessType::Write || is_writeback;
 
     if (is_writeback)
-        ++statWritebackAccesses;
+        ++cnt.writebackAccesses;
     else
-        ++statDemandAccesses;
+        ++cnt.demandAccesses;
 
     // Demand accesses contend for the single port; L1 writebacks drain
     // from a writeback buffer through idle slots.
@@ -97,28 +105,30 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
     const std::uint32_t set = static_cast<std::uint32_t>(
         (block >> blockShift) & (sets - 1));
     const Addr tag = block >> tagShift;
+    const std::size_t row = rowBase(set);
 
-    // Tag probe across all ways.
-    std::uint32_t hit_way = p.assoc;
-    for (std::uint32_t w = 0; w < p.assoc; ++w) {
-        Line &l = line(set, w);
-        if (l.valid && l.tag == tag) {
-            hit_way = w;
-            break;
-        }
+    // Tag probe across all ways (first valid match wins).
+    std::uint64_t match;
+    {
+        NURAPID_PROFILE_SCOPE(Probe);
+        match = probeMatch(&tagPlane[row], wayStride, tag) &
+            validBits[set];
     }
+    const std::uint32_t hit_way = match
+        ? static_cast<std::uint32_t>(std::countr_zero(match))
+        : p.assoc;
 
     Result result;
     if (hit_way < p.assoc) {
         const std::uint32_t g = groupOfWay(hit_way);
-        ++statDGroupAccesses;
+        ++cnt.dgroupAccesses;
         if (!is_writeback) {
-            ++statHits;
+            ++cnt.hits;
             regionHist.sample(g);
         }
         touch(set, hit_way);
         if (is_write)
-            line(set, hit_way).dirty = true;
+            dirtyBits[set] |= std::uint64_t{1} << hit_way;
         cacheEnergy += is_write ? times.dgroups[g].data_write_nj
                                 : times.dgroups[g].data_read_nj;
         busy = times.port_cycle;
@@ -132,18 +142,19 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
                 p.promotion == PromotionPolicy::NextFastest ? g - 1 : 0;
             const std::uint32_t victim = lruWayInGroup(set, tgt_group);
             if (obsSink) [[unlikely]] {
-                if (line(set, victim).valid)
+                if ((validBits[set] >> victim) & 1)
                     obsSink->swap(now, block, g, tgt_group);
                 else
                     obsSink->promotion(now, block, g, tgt_group);
             }
-            std::swap(line(set, hit_way), line(set, victim));
-            std::swap(stamps[std::size_t{set} * p.assoc + hit_way],
-                      stamps[std::size_t{set} * p.assoc + victim]);
-            ++statPromotions;
-            ++statDemotions;
-            statBlockMoves += 2;
-            statDGroupAccesses += 4;
+            std::swap(tagPlane[row | hit_way], tagPlane[row | victim]);
+            swapBits(validBits[set], hit_way, victim);
+            swapBits(dirtyBits[set], hit_way, victim);
+            std::swap(stamps[row | hit_way], stamps[row | victim]);
+            ++cnt.promotions;
+            ++cnt.demotions;
+            cnt.blockMoves += 2;
+            cnt.dgroupAccesses += 4;
             busy += times.swapBusy(g, tgt_group);
             cacheEnergy += 2.0 * times.swapEnergy(g, tgt_group);
         }
@@ -161,40 +172,36 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
         }
     } else {
         if (!is_writeback)
-            ++statMisses;
+            ++cnt.misses;
         if (obsSink && is_writeback) [[unlikely]]
             obsSink->writeback(now, block);
 
         // Data replacement: evict the set-LRU block, freeing its way.
-        std::uint32_t victim = 0;
-        bool found_invalid = false;
-        for (std::uint32_t w = 0; w < p.assoc; ++w) {
-            if (!line(set, w).valid) {
-                victim = w;
-                found_invalid = true;
-                break;
-            }
-        }
-        if (!found_invalid) {
+        std::uint32_t victim;
+        const std::uint64_t invalid = ~validBits[set] & waysMask;
+        if (invalid) {
+            victim = static_cast<std::uint32_t>(
+                std::countr_zero(invalid));
+        } else {
             victim = 0;
             for (std::uint32_t w = 1; w < p.assoc; ++w) {
-                if (stamps[std::size_t{set} * p.assoc + w] <
-                        stamps[std::size_t{set} * p.assoc + victim]) {
+                if (stamps[row | w] < stamps[row | victim])
                     victim = w;
-                }
             }
         }
-        Line &v = line(set, victim);
-        if (v.valid) {
-            ++statEvictions;
-            ++statDGroupAccesses;
+        if ((validBits[set] >> victim) & 1) {
+            ++cnt.evictions;
+            ++cnt.dgroupAccesses;
             cacheEnergy +=
                 times.dgroups[groupOfWay(victim)].data_read_nj;
-            recordEviction(result, (v.tag * sets + set) * p.block_bytes,
-                           v.dirty, now);
-            if (v.dirty)
+            const bool victim_dirty = (dirtyBits[set] >> victim) & 1;
+            recordEviction(result,
+                           (tagPlane[row | victim] * sets + set) *
+                               p.block_bytes,
+                           victim_dirty, now);
+            if (victim_dirty)
                 mem.write(p.block_bytes);
-            v.valid = false;
+            validBits[set] &= ~(std::uint64_t{1} << victim);
         }
 
         // Initial placement in the fastest d-group: bubble existing
@@ -204,7 +211,7 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
         std::uint32_t hole = victim;
         for (std::uint32_t g = free_group; g-- > 0;) {
             const std::uint32_t w = lruWayInGroup(set, g);
-            if (!line(set, w).valid) {
+            if (!((validBits[set] >> w) & 1)) {
                 // A free way closer in: restart the bubble from here.
                 hole = w;
                 continue;
@@ -212,27 +219,33 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
             // Demote g's LRU occupant one d-group outward into the hole.
             if (obsSink) [[unlikely]] {
                 obsSink->demotion(
-                    now, (line(set, w).tag * sets + set) * p.block_bytes,
+                    now,
+                    (tagPlane[row | w] * sets + set) * p.block_bytes,
                     g, groupOfWay(hole));
             }
-            line(set, hole) = line(set, w);
-            stamps[std::size_t{set} * p.assoc + hole] =
-                stamps[std::size_t{set} * p.assoc + w];
-            line(set, w).valid = false;
-            ++statDemotions;
-            ++statBlockMoves;
-            statDGroupAccesses += 2;
+            tagPlane[row | hole] = tagPlane[row | w];
+            validBits[set] |= std::uint64_t{1} << hole;
+            dirtyBits[set] = (dirtyBits[set] &
+                              ~(std::uint64_t{1} << hole)) |
+                (((dirtyBits[set] >> w) & 1) << hole);
+            stamps[row | hole] = stamps[row | w];
+            validBits[set] &= ~(std::uint64_t{1} << w);
+            ++cnt.demotions;
+            ++cnt.blockMoves;
+            cnt.dgroupAccesses += 2;
             busy += times.swapBusy(g, groupOfWay(hole));
             cacheEnergy += times.swapEnergy(g, groupOfWay(hole));
             hole = w;
         }
 
-        Line &dest = line(set, hole);
-        dest.tag = tag;
-        dest.valid = true;
-        dest.dirty = is_write;
+        tagPlane[row | hole] = tag;
+        validBits[set] |= std::uint64_t{1} << hole;
+        if (is_write)
+            dirtyBits[set] |= std::uint64_t{1} << hole;
+        else
+            dirtyBits[set] &= ~(std::uint64_t{1} << hole);
         touch(set, hole);
-        ++statDGroupAccesses;
+        ++cnt.dgroupAccesses;
         cacheEnergy += times.tag_write_nj + times.dgroups[0].data_write_nj;
         busy += times.port_cycle;
 
@@ -264,9 +277,12 @@ CoupledNucaCache::regionOccupancy(std::vector<std::uint64_t> &out) const
 {
     out.assign(p.num_dgroups, 0);
     for (std::uint32_t s = 0; s < sets; ++s) {
-        for (std::uint32_t w = 0; w < p.assoc; ++w) {
-            if (lines[std::size_t{s} * p.assoc + w].valid)
-                ++out[groupOfWay(w)];
+        std::uint64_t vb = validBits[s];
+        while (vb) {
+            const std::uint32_t w = static_cast<std::uint32_t>(
+                std::countr_zero(vb));
+            vb &= vb - 1;
+            ++out[groupOfWay(w)];
         }
     }
 }
@@ -275,10 +291,14 @@ void
 CoupledNucaCache::forEachResident(const ResidentFn &fn) const
 {
     for (std::uint32_t s = 0; s < sets; ++s) {
-        for (std::uint32_t w = 0; w < p.assoc; ++w) {
-            const Line &l = lines[std::size_t{s} * p.assoc + w];
-            if (l.valid)
-                fn((l.tag * sets + s) * p.block_bytes, l.dirty);
+        const std::size_t row = rowBase(s);
+        std::uint64_t vb = validBits[s];
+        while (vb) {
+            const std::uint32_t w = static_cast<std::uint32_t>(
+                std::countr_zero(vb));
+            vb &= vb - 1;
+            fn((tagPlane[row | w] * sets + s) * p.block_bytes,
+               (dirtyBits[s] >> w) & 1);
         }
     }
 }
@@ -288,30 +308,30 @@ CoupledNucaCache::audit(AuditSink &sink) const
 {
     bool clean = true;
     for (std::uint32_t s = 0; s < sets; ++s) {
+        const std::size_t row = rowBase(s);
+        const std::uint64_t vb = validBits[s];
         for (std::uint32_t w = 0; w < p.assoc; ++w) {
-            const std::size_t idx = std::size_t{s} * p.assoc + w;
-            const Line &l = lines[idx];
-            if (!l.valid)
+            if (!((vb >> w) & 1))
                 continue;
             for (std::uint32_t w2 = w + 1; w2 < p.assoc; ++w2) {
-                const Line &o = lines[std::size_t{s} * p.assoc + w2];
-                if (o.valid && o.tag == l.tag) {
+                if (((vb >> w2) & 1) &&
+                    tagPlane[row | w2] == tagPlane[row | w]) {
                     clean = false;
                     sink.violation({p.name, "duplicate-tag",
                                     strprintf("tag %#llx also in way %u",
                                               static_cast<
                                                   unsigned long long>(
-                                                  l.tag), w2),
+                                                  tagPlane[row | w]), w2),
                                     s, w, groupOfWay(w),
                                     AuditViolation::kNoIndex});
                 }
             }
-            if (stamps[idx] > clock) {
+            if (stamps[row | w] > clock) {
                 clean = false;
                 sink.violation({p.name, "stamp-beyond-clock",
                                 strprintf("stamp %llu > clock %llu",
                                           static_cast<unsigned long long>(
-                                              stamps[idx]),
+                                              stamps[row | w]),
                                           static_cast<unsigned long long>(
                                               clock)),
                                 s, w, groupOfWay(w),

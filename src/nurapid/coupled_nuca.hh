@@ -59,18 +59,17 @@ class CoupledNucaCache final : public LowerMemory
     const NuRapidTiming &timing() const { return times; }
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
-
     std::uint32_t groupOfWay(std::uint32_t way) const;
     std::uint32_t lruWayInGroup(std::uint32_t set,
                                 std::uint32_t group) const;
-    Line &line(std::uint32_t set, std::uint32_t way);
     void touch(std::uint32_t set, std::uint32_t way);
+
+    /** First word of @p set's row in the way-indexed planes. */
+    std::size_t
+    rowBase(std::uint32_t set) const
+    {
+        return std::size_t{set} << strideShift;
+    }
 
     Params p;
     NuRapidTiming times;
@@ -78,8 +77,17 @@ class CoupledNucaCache final : public LowerMemory
     std::uint32_t waysPerGroup;
     unsigned blockShift = 0;  //!< log2(block_bytes)
     unsigned tagShift = 0;    //!< log2(block_bytes * sets)
-    std::vector<Line> lines;
-    std::vector<std::uint64_t> stamps;
+    std::uint32_t wayStride = 1;  //!< pow2 plane row width >= assoc
+    unsigned strideShift = 0;     //!< log2(wayStride)
+    std::uint64_t waysMask = 0;   //!< low assoc bits set
+
+    // Structure-of-arrays tag state: [set << strideShift | way] planes
+    // plus one valid/dirty bitmap word per set. The stamp plane shares
+    // the padded row indexing with the tag plane.
+    std::vector<std::uint64_t> tagPlane;
+    std::vector<std::uint64_t> validBits;  //!< [set]
+    std::vector<std::uint64_t> dirtyBits;  //!< [set]
+    std::vector<std::uint64_t> stamps;     //!< LRU stamps, plane-indexed
     std::uint64_t clock = 0;
     MainMemory mem;
     Cycle portFree = 0;
@@ -87,15 +95,21 @@ class CoupledNucaCache final : public LowerMemory
     std::uint64_t auditTick = 0;  //!< periodic-audit access counter
 
     StatGroup statGroup;
-    Counter statDemandAccesses;
-    Counter statWritebackAccesses;
-    Counter statHits;
-    Counter statMisses;
-    Counter statEvictions;
-    Counter statPromotions;
-    Counter statDemotions;
-    Counter statBlockMoves;
-    Counter statDGroupAccesses;
+    /** Counters packed into one cache-line-aligned block so gang lanes
+     *  stop dirtying 9 scattered counter lines. */
+    struct alignas(64) Counters
+    {
+        Counter demandAccesses;
+        Counter writebackAccesses;
+        Counter hits;
+        Counter misses;
+        Counter dgroupAccesses;
+        Counter evictions;
+        Counter promotions;
+        Counter demotions;
+        Counter blockMoves;
+    };
+    Counters cnt;
     Histogram regionHist;
 };
 

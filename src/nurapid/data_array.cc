@@ -1,5 +1,7 @@
 #include "nurapid/data_array.hh"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "common/logging.hh"
@@ -13,8 +15,6 @@ DataArray::DataArray(std::uint32_t num_groups,
     : nGroups(num_groups), nFrames(frames_per_group), nRegions(num_regions),
       framesPerRegion(frames_per_group / num_regions), replPolicy(repl),
       rng(seed),
-      frames(std::size_t{num_groups} * frames_per_group),
-      nodes(std::size_t{num_groups} * frames_per_group),
       lists(std::size_t{num_groups} * num_regions)
 {
     fatal_if(num_groups == 0 || frames_per_group == 0,
@@ -22,6 +22,13 @@ DataArray::DataArray(std::uint32_t num_groups,
     fatal_if(num_regions == 0 || frames_per_group % num_regions != 0,
              "frames per d-group (%u) not divisible into %u regions",
              frames_per_group, num_regions);
+    const std::size_t total = std::size_t{nGroups} * nFrames;
+    revSet.assign(total, 0);
+    revWay.assign(total, 0);
+    validWords.assign((total + 63) / 64, 0);
+    linkedWords.assign((total + 63) / 64, 0);
+    prevPlane.assign(total, kNoFrame);
+    nextPlane.assign(total, kNoFrame);
     frameRegion.resize(nFrames);
     for (std::uint32_t f = 0; f < nFrames; ++f)
         frameRegion[f] = f / framesPerRegion;
@@ -94,22 +101,26 @@ void
 DataArray::place(std::uint32_t group, std::uint32_t f, std::uint32_t set,
                  std::uint32_t way)
 {
-    Frame &fr = frame(group, f);
-    panic_if(fr.valid, "placing into occupied frame %u of d-group %u",
-             f, group);
-    fr.valid = true;
-    fr.set = set;
-    fr.way = static_cast<std::uint16_t>(way);
+    panic_if(group >= nGroups || f >= nFrames,
+             "frame (%u, %u) out of range", group, f);
+    panic_if(validBit(group, f),
+             "placing into occupied frame %u of d-group %u", f, group);
+    const std::size_t idx = frameIdx(group, f);
+    revSet[idx] = set;
+    revWay[idx] = static_cast<std::uint16_t>(way);
+    validWords[idx >> 6] |= std::uint64_t{1} << (idx & 63);
     linkFront(group, f);
 }
 
 void
 DataArray::remove(std::uint32_t group, std::uint32_t f)
 {
-    Frame &fr = frame(group, f);
-    panic_if(!fr.valid, "removing invalid frame %u of d-group %u",
-             f, group);
-    fr.valid = false;
+    panic_if(group >= nGroups || f >= nFrames,
+             "frame (%u, %u) out of range", group, f);
+    panic_if(!validBit(group, f),
+             "removing invalid frame %u of d-group %u", f, group);
+    const std::size_t idx = frameIdx(group, f);
+    validWords[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
     unlink(group, f);
     region(group, regionOfFrame(f)).free.push_back(f);
 }
@@ -118,11 +129,12 @@ void
 DataArray::swapFrames(std::uint32_t group_a, std::uint32_t frame_a,
                       std::uint32_t group_b, std::uint32_t frame_b)
 {
-    Frame &a = frame(group_a, frame_a);
-    Frame &b = frame(group_b, frame_b);
-    panic_if(!a.valid || !b.valid, "swapping with an invalid frame");
-    std::swap(a.set, b.set);
-    std::swap(a.way, b.way);
+    panic_if(!validBit(group_a, frame_a) || !validBit(group_b, frame_b),
+             "swapping with an invalid frame");
+    const std::size_t ia = frameIdx(group_a, frame_a);
+    const std::size_t ib = frameIdx(group_b, frame_b);
+    std::swap(revSet[ia], revSet[ib]);
+    std::swap(revWay[ia], revWay[ib]);
     touch(group_a, frame_a);
     touch(group_b, frame_b);
 }
@@ -131,8 +143,8 @@ std::uint64_t
 DataArray::validCount() const
 {
     std::uint64_t n = 0;
-    for (const Frame &f : frames)
-        n += f.valid ? 1 : 0;
+    for (const std::uint64_t w : validWords)
+        n += static_cast<std::uint64_t>(std::popcount(w));
     return n;
 }
 
@@ -148,6 +160,26 @@ DataArray::audit(AuditSink &sink) const
                         g, f});
     };
 
+    // Per-region membership bitmaps, one bit per frame of the region.
+    // thread_local so the periodic audit hook never allocates on a
+    // steady-state access path (each org is driven by one engine
+    // thread); they grow once to the largest region audited.
+    thread_local std::vector<std::uint64_t> chained;
+    thread_local std::vector<std::uint64_t> freed;
+    const std::size_t words = (std::size_t{framesPerRegion} + 63) / 64;
+    if (chained.size() < words) {
+        chained.resize(words);
+        freed.resize(words);
+    }
+    const auto testSet = [words](std::vector<std::uint64_t> &bm,
+                                 std::uint32_t i) {
+        (void)words;
+        const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+        const bool was = (bm[i >> 6] & bit) != 0;
+        bm[i >> 6] |= bit;
+        return was;
+    };
+
     for (std::uint32_t g = 0; g < nGroups; ++g) {
         const std::size_t base = std::size_t{g} * nFrames;
         for (std::uint32_t r = 0; r < nRegions; ++r) {
@@ -156,7 +188,7 @@ DataArray::audit(AuditSink &sink) const
 
             // Walk the LRU chain head→tail, bounding the walk so a
             // cycle cannot hang the audit.
-            std::vector<bool> chained(framesPerRegion, false);
+            std::fill_n(chained.begin(), words, 0);
             std::uint32_t chain_len = 0;
             std::uint32_t prev = kNoFrame;
             std::uint32_t f = rl.head;
@@ -167,28 +199,26 @@ DataArray::audit(AuditSink &sink) const
                                      "chain", regionOfFrame(f), r), g, f);
                     break;
                 }
-                if (chained[f - lo]) {
+                if (testSet(chained, f - lo)) {
                     report("chain-cycle",
                            strprintf("frame revisited after %u links",
                                      chain_len), g, f);
                     break;
                 }
-                chained[f - lo] = true;
                 ++chain_len;
-                const Node &n = nodes[base + f];
-                if (!n.linked)
+                if (!linkedBit(g, f))
                     report("chain-unlinked-node",
                            "frame on chain but not marked linked", g, f);
-                if (!frames[base + f].valid)
+                if (!validBit(g, f))
                     report("chain-invalid-frame",
                            "invalid frame on the LRU chain", g, f);
-                if (n.prev != prev) {
+                if (prevPlane[base + f] != prev) {
                     report("chain-bad-prev",
-                           strprintf("prev is %u, expected %u", n.prev,
-                                     prev), g, f);
+                           strprintf("prev is %u, expected %u",
+                                     prevPlane[base + f], prev), g, f);
                 }
                 prev = f;
-                f = n.next;
+                f = nextPlane[base + f];
             }
             if (f == kNoFrame && rl.tail != prev) {
                 report("chain-bad-tail",
@@ -199,7 +229,7 @@ DataArray::audit(AuditSink &sink) const
             }
 
             // Free list: exactly the invalid frames of the region.
-            std::vector<bool> freed(framesPerRegion, false);
+            std::fill_n(freed.begin(), words, 0);
             for (const std::uint32_t ff : rl.free) {
                 if (regionOfFrame(ff) != r) {
                     report("free-crosses-region",
@@ -208,16 +238,15 @@ DataArray::audit(AuditSink &sink) const
                            g, ff);
                     continue;
                 }
-                if (freed[ff - lo]) {
+                if (testSet(freed, ff - lo)) {
                     report("free-duplicate",
                            "frame on the free list twice", g, ff);
                     continue;
                 }
-                freed[ff - lo] = true;
-                if (frames[base + ff].valid)
+                if (validBit(g, ff))
                     report("free-valid-frame",
                            "valid frame on the free list", g, ff);
-                if (nodes[base + ff].linked)
+                if (linkedBit(g, ff))
                     report("free-linked-frame",
                            "free frame still on the LRU chain", g, ff);
             }
@@ -225,12 +254,15 @@ DataArray::audit(AuditSink &sink) const
             // Every frame is on exactly one of the two structures.
             for (std::uint32_t i = 0; i < framesPerRegion; ++i) {
                 const std::uint32_t ff = lo + i;
-                const bool valid = frames[base + ff].valid;
-                if (valid && !chained[i])
+                const bool valid = validBit(g, ff);
+                const bool in_chain =
+                    (chained[i >> 6] >> (i & 63)) & 1;
+                const bool in_free = (freed[i >> 6] >> (i & 63)) & 1;
+                if (valid && !in_chain)
                     report("valid-not-chained",
                            "valid frame missing from the LRU chain",
                            g, ff);
-                if (!valid && !freed[i])
+                if (!valid && !in_free)
                     report("invalid-not-free",
                            "invalid frame missing from the free list",
                            g, ff);

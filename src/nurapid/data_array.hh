@@ -8,6 +8,13 @@
  * its tag entry so demotions can update forward pointers (Section 2.2,
  * Figure 2).
  *
+ * Frame state is structure-of-arrays: parallel reverse-pointer planes
+ * (32-bit set, 16-bit way), packed valid/linked bitmaps (one bit per
+ * frame), and 32-bit LRU prev/next planes — replacing the per-Frame
+ * and per-Node records so a touch or swap writes a few dense words.
+ * Frames are read through a by-value Frame view (frame()); tests that
+ * need to corrupt state write raw fields back with setFrame().
+ *
  * Section 2.4.3's pointer-restriction option is modeled by statically
  * partitioning each d-group's frames into *regions*; a block may only
  * occupy frames of the region its address hashes to, which shortens the
@@ -35,6 +42,7 @@ namespace nurapid {
 class DataArray
 {
   public:
+    /** By-value view of one frame, assembled from the planes. */
     struct Frame
     {
         std::uint32_t set = 0;   //!< reverse pointer: tag set
@@ -87,27 +95,59 @@ class DataArray
     void
     touch(std::uint32_t group, std::uint32_t f)
     {
-        panic_if(!frame(group, f).valid, "touching invalid frame");
+        panic_if(!validBit(group, f), "touching invalid frame");
         unlink(group, f);
         linkFront(group, f);
         if (replPolicy == DistanceRepl::TreePLRU)
             plru[group]->touch(regionOfFrame(f), f % framesPerRegion);
     }
 
-    Frame &
-    frame(std::uint32_t group, std::uint32_t f)
-    {
-        panic_if(group >= nGroups || f >= nFrames,
-                 "frame (%u, %u) out of range", group, f);
-        return frames[std::size_t{group} * nFrames + f];
-    }
-
-    const Frame &
+    /** Reads frame (group, f) as a value (range-checked). */
+    Frame
     frame(std::uint32_t group, std::uint32_t f) const
     {
         panic_if(group >= nGroups || f >= nFrames,
                  "frame (%u, %u) out of range", group, f);
-        return frames[std::size_t{group} * nFrames + f];
+        const std::size_t idx = frameIdx(group, f);
+        Frame fr;
+        fr.set = revSet[idx];
+        fr.way = revWay[idx];
+        fr.valid = validBit(group, f);
+        return fr;
+    }
+
+    /**
+     * Raw-writes the fields of frame (group, f) without touching the
+     * LRU chains or free lists — the moral equivalent of poking the
+     * old Frame record's fields directly. For tests (state corruption
+     * for audit coverage) and trusted plumbing only.
+     */
+    void
+    setFrame(std::uint32_t group, std::uint32_t f, const Frame &fr)
+    {
+        panic_if(group >= nGroups || f >= nFrames,
+                 "frame (%u, %u) out of range", group, f);
+        const std::size_t idx = frameIdx(group, f);
+        revSet[idx] = fr.set;
+        revWay[idx] = fr.way;
+        const std::uint64_t bit = std::uint64_t{1} << (idx & 63);
+        if (fr.valid)
+            validWords[idx >> 6] |= bit;
+        else
+            validWords[idx >> 6] &= ~bit;
+    }
+
+    /** Unchecked reverse-pointer reads for the per-reference paths. */
+    std::uint32_t
+    revSetOf(std::uint32_t group, std::uint32_t f) const
+    {
+        return revSet[frameIdx(group, f)];
+    }
+
+    std::uint16_t
+    revWayOf(std::uint32_t group, std::uint32_t f) const
+    {
+        return revWay[frameIdx(group, f)];
     }
 
     std::uint32_t numGroups() const { return nGroups; }
@@ -130,7 +170,8 @@ class DataArray
      * consistent prev/next and head/tail), the free list holds exactly
      * the invalid frames (no duplicates, no valid frames), and both
      * partitions sum to the region's frame count. Violations carry
-     * (group, frame) context; returns true if clean.
+     * (group, frame) context; returns true if clean. Allocation-free
+     * after the calling thread's first audit (scratch bitmaps persist).
      */
     bool audit(AuditSink &sink) const;
 
@@ -142,12 +183,25 @@ class DataArray
         std::vector<std::uint32_t> free;
     };
 
-    struct Node
+    std::size_t
+    frameIdx(std::uint32_t group, std::uint32_t f) const
     {
-        std::uint32_t prev = kNoFrame;
-        std::uint32_t next = kNoFrame;
-        bool linked = false;
-    };
+        return std::size_t{group} * nFrames + f;
+    }
+
+    bool
+    validBit(std::uint32_t group, std::uint32_t f) const
+    {
+        const std::size_t idx = frameIdx(group, f);
+        return (validWords[idx >> 6] >> (idx & 63)) & 1;
+    }
+
+    bool
+    linkedBit(std::uint32_t group, std::uint32_t f) const
+    {
+        const std::size_t idx = frameIdx(group, f);
+        return (linkedWords[idx >> 6] >> (idx & 63)) & 1;
+    }
 
     RegionList &
     region(std::uint32_t group, std::uint32_t region_idx)
@@ -158,38 +212,41 @@ class DataArray
     void
     unlink(std::uint32_t group, std::uint32_t f)
     {
-        Node &n = nodes[std::size_t{group} * nFrames + f];
-        if (!n.linked)
+        if (!linkedBit(group, f))
             return;
-        RegionList &r = region(group, regionOfFrame(f));
         const std::size_t base = std::size_t{group} * nFrames;
-        if (n.prev != kNoFrame)
-            nodes[base + n.prev].next = n.next;
+        const std::uint32_t prev = prevPlane[base + f];
+        const std::uint32_t next = nextPlane[base + f];
+        RegionList &r = region(group, regionOfFrame(f));
+        if (prev != kNoFrame)
+            nextPlane[base + prev] = next;
         else
-            r.head = n.next;
-        if (n.next != kNoFrame)
-            nodes[base + n.next].prev = n.prev;
+            r.head = next;
+        if (next != kNoFrame)
+            prevPlane[base + next] = prev;
         else
-            r.tail = n.prev;
-        n.prev = n.next = kNoFrame;
-        n.linked = false;
+            r.tail = prev;
+        prevPlane[base + f] = kNoFrame;
+        nextPlane[base + f] = kNoFrame;
+        const std::size_t idx = base + f;
+        linkedWords[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
     }
 
     void
     linkFront(std::uint32_t group, std::uint32_t f)
     {
-        Node &n = nodes[std::size_t{group} * nFrames + f];
-        panic_if(n.linked, "frame %u already linked", f);
-        RegionList &r = region(group, regionOfFrame(f));
+        panic_if(linkedBit(group, f), "frame %u already linked", f);
         const std::size_t base = std::size_t{group} * nFrames;
-        n.prev = kNoFrame;
-        n.next = r.head;
+        RegionList &r = region(group, regionOfFrame(f));
+        prevPlane[base + f] = kNoFrame;
+        nextPlane[base + f] = r.head;
         if (r.head != kNoFrame)
-            nodes[base + r.head].prev = f;
+            prevPlane[base + r.head] = f;
         r.head = f;
         if (r.tail == kNoFrame)
             r.tail = f;
-        n.linked = true;
+        const std::size_t idx = base + f;
+        linkedWords[idx >> 6] |= std::uint64_t{1} << (idx & 63);
     }
 
     std::uint32_t nGroups;
@@ -199,8 +256,15 @@ class DataArray
     DistanceRepl replPolicy;
     Rng rng;
 
-    std::vector<Frame> frames;      //!< [group * nFrames + frame]
-    std::vector<Node> nodes;        //!< LRU chain per frame
+    // Structure-of-arrays frame planes, indexed [group * nFrames + f];
+    // valid/linked are packed one bit per frame.
+    std::vector<std::uint32_t> revSet;       //!< reverse ptr: tag set
+    std::vector<std::uint16_t> revWay;       //!< reverse ptr: tag way
+    std::vector<std::uint64_t> validWords;   //!< [idx / 64]
+    std::vector<std::uint64_t> linkedWords;  //!< [idx / 64]
+    std::vector<std::uint32_t> prevPlane;    //!< LRU chain prev
+    std::vector<std::uint32_t> nextPlane;    //!< LRU chain next
+
     std::vector<std::uint32_t> frameRegion;  //!< frame -> region index
     std::vector<RegionList> lists;  //!< [group * nRegions + region]
     /** Per-group tree-PLRU state (regions as sets, frames as ways);

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "sim/profile/profile.hh"
 
 namespace nurapid {
 
@@ -32,27 +33,27 @@ NuRapidCache::NuRapidCache(const SramMacroModel &model, const Params &params)
              "frame restriction %u does not divide the d-group frame "
              "count", p.frame_restriction);
 
-    statGroup.addCounter("demand_accesses", statDemandAccesses);
-    statGroup.addCounter("writeback_accesses", statWritebackAccesses);
-    statGroup.addCounter("hits", statHits);
-    statGroup.addCounter("misses", statMisses);
-    statGroup.addCounter("evictions", statEvictions);
-    statGroup.addCounter("dirty_evictions", statDirtyEvictions);
-    statGroup.addCounter("promotions", statPromotions);
-    statGroup.addCounter("demotions", statDemotions);
-    statGroup.addCounter("block_moves", statBlockMoves);
-    statGroup.addCounter("dgroup_accesses", statDGroupAccesses);
-    statGroup.addCounter("tag_probes", statTagProbes);
+    statGroup.addCounter("demand_accesses", cnt.demandAccesses);
+    statGroup.addCounter("writeback_accesses", cnt.writebackAccesses);
+    statGroup.addCounter("hits", cnt.hits);
+    statGroup.addCounter("misses", cnt.misses);
+    statGroup.addCounter("evictions", cnt.evictions);
+    statGroup.addCounter("dirty_evictions", cnt.dirtyEvictions);
+    statGroup.addCounter("promotions", cnt.promotions);
+    statGroup.addCounter("demotions", cnt.demotions);
+    statGroup.addCounter("block_moves", cnt.blockMoves);
+    statGroup.addCounter("dgroup_accesses", cnt.dgroupAccesses);
+    statGroup.addCounter("tag_probes", cnt.tagProbes);
     statGroup.addCounter("restriction_evictions",
-                         statRestrictionEvictions);
-    statGroup.addCounter("port_wait_cycles", statPortWaitCycles);
+                         cnt.restrictionEvictions);
+    statGroup.addCounter("port_wait_cycles", cnt.portWaitCycles);
 }
 
 void
 NuRapidCache::moveBlock(std::uint32_t group, std::uint32_t frame,
                         std::uint32_t dest_group, std::uint32_t dest_frame)
 {
-    const DataArray::Frame &src = dataArray.frame(group, frame);
+    const DataArray::Frame src = dataArray.frame(group, frame);
     panic_if(!src.valid, "moving an invalid frame");
     const std::uint32_t set = src.set;
     const std::uint32_t way = src.way;
@@ -60,14 +61,15 @@ NuRapidCache::moveBlock(std::uint32_t group, std::uint32_t frame,
     dataArray.remove(group, frame);
     dataArray.place(dest_group, dest_frame, set, way);
 
-    TagArray::Entry &e = tagArray.entry(set, way);
-    panic_if(!e.valid || e.group != group || e.frame != frame,
+    panic_if(!tagArray.isValid(set, way) ||
+                 tagArray.groupOf(set, way) != group ||
+                 tagArray.frameOf(set, way) != frame,
              "forward/reverse pointer mismatch during move");
-    e.group = static_cast<std::uint8_t>(dest_group);
-    e.frame = dest_frame;
+    tagArray.setForward(set, way, static_cast<std::uint8_t>(dest_group),
+                        dest_frame);
 
-    ++statBlockMoves;
-    statDGroupAccesses += 2;  // read at source + write at destination
+    ++cnt.blockMoves;
+    cnt.dgroupAccesses += 2;  // read at source + write at destination
 }
 
 std::uint32_t
@@ -85,24 +87,23 @@ NuRapidCache::ensureFree(std::uint32_t group, std::uint32_t region,
         panic_if(p.frame_restriction == 0,
                  "slowest d-group full despite unrestricted placement");
         const std::uint32_t f = dataArray.victimFrame(group, region);
-        const DataArray::Frame &fr = dataArray.frame(group, f);
-        TagArray::Entry &e = tagArray.entry(fr.set, fr.way);
+        const DataArray::Frame fr = dataArray.frame(group, f);
+        const bool victim_dirty = tagArray.isDirty(fr.set, fr.way);
         recordEviction(result, tagArray.blockAddr(fr.set, fr.way),
-                       e.dirty, now);
-        if (e.dirty)
+                       victim_dirty, now);
+        if (victim_dirty)
             mem.write(p.block_bytes);
-        e.valid = false;
-        e.dirty = false;
+        tagArray.invalidateEntry(fr.set, fr.way);
         dataArray.remove(group, f);
-        ++statRestrictionEvictions;
-        ++statEvictions;
+        ++cnt.restrictionEvictions;
+        ++cnt.evictions;
         return dataArray.allocFrame(group, region);
     }
 
     const std::uint32_t victim = dataArray.victimFrame(group, region);
     Addr victim_addr = 0;
     if (obsSink) [[unlikely]] {
-        const DataArray::Frame &vf = dataArray.frame(group, victim);
+        const DataArray::Frame vf = dataArray.frame(group, victim);
         victim_addr = tagArray.blockAddr(vf.set, vf.way);
     }
     const std::uint32_t dest =
@@ -110,7 +111,7 @@ NuRapidCache::ensureFree(std::uint32_t group, std::uint32_t region,
     moveBlock(group, victim, group + 1, dest);
     if (obsSink) [[unlikely]]
         obsSink->demotion(now, victim_addr, group, group + 1);
-    ++statDemotions;
+    ++cnt.demotions;
     busy += times.swapBusy(group, group + 1);
     cacheEnergy += times.swapEnergy(group, group + 1);
     return dataArray.allocFrame(group, region);
@@ -120,8 +121,7 @@ void
 NuRapidCache::promote(std::uint32_t set, std::uint32_t way, Cycles &busy,
                       Cycle now)
 {
-    TagArray::Entry &e = tagArray.entry(set, way);
-    const std::uint32_t g = e.group;
+    const std::uint32_t g = tagArray.groupOf(set, way);
     if (g == 0 || p.promotion == PromotionPolicy::DemotionOnly)
         return;
 
@@ -131,12 +131,12 @@ NuRapidCache::promote(std::uint32_t set, std::uint32_t way, Cycles &busy,
         tagArray.blockAddr(set, way) >> blockShift;
     const std::uint32_t region = dataArray.regionOf(block_index);
 
-    ++statPromotions;
+    ++cnt.promotions;
 
     if (dataArray.hasFree(target, region)) {
         // Pure promotion into a free frame: one block move.
         const std::uint32_t dest = dataArray.allocFrame(target, region);
-        moveBlock(g, e.frame, target, dest);
+        moveBlock(g, tagArray.frameOf(set, way), target, dest);
         if (obsSink) [[unlikely]] {
             obsSink->promotion(now, tagArray.blockAddr(set, way), g,
                                target);
@@ -150,18 +150,19 @@ NuRapidCache::promote(std::uint32_t set, std::uint32_t way, Cycles &busy,
     // (which may belong to any set): the victim demotes into the frame
     // our block vacates.
     const std::uint32_t victim = dataArray.victimFrame(target, region);
-    const std::uint32_t our_frame = e.frame;
+    const std::uint32_t our_frame = tagArray.frameOf(set, way);
 
     const DataArray::Frame vf = dataArray.frame(target, victim);
-    TagArray::Entry &ve = tagArray.entry(vf.set, vf.way);
-    panic_if(!ve.valid || ve.group != target || ve.frame != victim,
+    panic_if(!tagArray.isValid(vf.set, vf.way) ||
+                 tagArray.groupOf(vf.set, vf.way) != target ||
+                 tagArray.frameOf(vf.set, vf.way) != victim,
              "victim pointer mismatch during promotion swap");
 
     dataArray.swapFrames(g, our_frame, target, victim);
-    e.group = static_cast<std::uint8_t>(target);
-    e.frame = victim;
-    ve.group = static_cast<std::uint8_t>(g);
-    ve.frame = our_frame;
+    tagArray.setForward(set, way, static_cast<std::uint8_t>(target),
+                        victim);
+    tagArray.setForward(vf.set, vf.way, static_cast<std::uint8_t>(g),
+                        our_frame);
 
     if (obsSink) [[unlikely]] {
         // One Swap event covers the atomic pair: the hit block moved
@@ -169,9 +170,9 @@ NuRapidCache::promote(std::uint32_t set, std::uint32_t way, Cycles &busy,
         obsSink->swap(now, tagArray.blockAddr(set, way), g, target);
     }
 
-    ++statDemotions;
-    statBlockMoves += 2;
-    statDGroupAccesses += 4;  // read + write at both d-groups
+    ++cnt.demotions;
+    cnt.blockMoves += 2;
+    cnt.dgroupAccesses += 4;  // read + write at both d-groups
     busy += times.swapBusy(g, target);
     cacheEnergy += 2.0 * times.swapEnergy(g, target);
 }
@@ -184,9 +185,9 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
     const bool is_write = type == AccessType::Write || is_writeback;
 
     if (is_writeback)
-        ++statWritebackAccesses;
+        ++cnt.writebackAccesses;
     else
-        ++statDemandAccesses;
+        ++cnt.demandAccesses;
 
     // Single-port serialization: a new demand access waits for
     // outstanding swap/fill work (Section 2.3). L1 writebacks sit in a
@@ -195,29 +196,32 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
     Cycle start = now;
     if (p.single_port && !p.ideal_fastest && !is_writeback) {
         start = std::max(now, portFree);
-        statPortWaitCycles += start - now;
+        cnt.portWaitCycles += start - now;
     }
     Cycles busy = 0;  // port occupancy accrued by this access
 
-    ++statTagProbes;
+    ++cnt.tagProbes;
     cacheEnergy += times.tag_read_nj;
 
-    const TagArray::Lookup look = tagArray.lookup(block);
+    TagArray::Lookup look;
+    {
+        NURAPID_PROFILE_SCOPE(Probe);
+        look = tagArray.lookup(block);
+    }
     Result result;
 
     if (look.hit) {
-        TagArray::Entry &e = tagArray.entry(look.set, look.way);
-        const std::uint32_t g = e.group;
-        ++statDGroupAccesses;
+        const std::uint32_t g = tagArray.groupOf(look.set, look.way);
+        ++cnt.dgroupAccesses;
         if (!is_writeback) {
-            ++statHits;
+            ++cnt.hits;
             regionHist.sample(g);
         }
 
         tagArray.touch(look.set, look.way);
-        dataArray.touch(g, e.frame);
+        dataArray.touch(g, tagArray.frameOf(look.set, look.way));
         if (is_write)
-            e.dirty = true;
+            tagArray.setDirty(look.set, look.way, true);
 
         cacheEnergy += is_write ? times.dgroups[g].data_write_nj
                                 : times.dgroups[g].data_read_nj;
@@ -243,25 +247,26 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
         }
     } else {
         if (!is_writeback)
-            ++statMisses;
+            ++cnt.misses;
         if (obsSink && is_writeback) [[unlikely]]
             obsSink->writeback(now, block);
 
         // Data replacement: evict the set-LRU block from the cache,
         // freeing its data frame (Section 2.2, step 2).
         const std::uint32_t way = tagArray.victimWay(look.set);
-        TagArray::Entry &e = tagArray.entry(look.set, way);
-        if (e.valid) {
-            ++statEvictions;
+        if (tagArray.isValid(look.set, way)) {
+            ++cnt.evictions;
+            const bool victim_dirty = tagArray.isDirty(look.set, way);
             recordEviction(result, tagArray.blockAddr(look.set, way),
-                           e.dirty, now);
-            if (e.dirty) {
-                ++statDirtyEvictions;
+                           victim_dirty, now);
+            if (victim_dirty) {
+                ++cnt.dirtyEvictions;
                 mem.write(p.block_bytes);
             }
-            dataArray.remove(e.group, e.frame);
-            ++statDGroupAccesses;  // victim read-out
-            cacheEnergy += times.dgroups[e.group].data_read_nj;
+            const std::uint32_t vg = tagArray.groupOf(look.set, way);
+            dataArray.remove(vg, tagArray.frameOf(look.set, way));
+            ++cnt.dgroupAccesses;  // victim read-out
+            cacheEnergy += times.dgroups[vg].data_read_nj;
         }
 
         // Distance placement: the new block always enters the fastest
@@ -270,17 +275,14 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
             block >> blockShift);
         const std::uint32_t f0 = ensureFree(0, region, busy, result, now);
 
-        e.valid = true;
-        e.dirty = is_write;
-        e.tag = tagArray.tagOf(block);
-        e.group = 0;
-        e.frame = f0;
+        tagArray.fillEntry(look.set, way, tagArray.tagOf(block),
+                           is_write, 0, f0);
         dataArray.place(0, f0, look.set, way);
         tagArray.touch(look.set, way);
 
         cacheEnergy += times.tag_write_nj +
             times.dgroups[0].data_write_nj;
-        ++statDGroupAccesses;  // fill write
+        ++cnt.dgroupAccesses;  // fill write
         busy += times.port_cycle;
 
         const Cycles mem_lat = mem.read(p.block_bytes);

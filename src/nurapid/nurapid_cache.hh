@@ -129,19 +129,25 @@ class NuRapidCache final : public LowerMemory
     std::uint64_t auditTick = 0;  //!< periodic-audit access counter
 
     StatGroup statGroup;
-    Counter statDemandAccesses;
-    Counter statWritebackAccesses;
-    Counter statHits;
-    Counter statMisses;
-    Counter statEvictions;
-    Counter statDirtyEvictions;
-    Counter statPromotions;
-    Counter statDemotions;
-    Counter statBlockMoves;
-    Counter statDGroupAccesses;  //!< every data-array read or write
-    Counter statTagProbes;
-    Counter statRestrictionEvictions;
-    Counter statPortWaitCycles;
+    /** Counters packed into two cache lines (hot-path updates stay in
+     *  the first) so gang lanes stop dirtying 13 scattered lines. */
+    struct alignas(64) Counters
+    {
+        Counter demandAccesses;
+        Counter writebackAccesses;
+        Counter hits;
+        Counter misses;
+        Counter tagProbes;
+        Counter dgroupAccesses;  //!< every data-array read or write
+        Counter portWaitCycles;
+        Counter evictions;
+        Counter dirtyEvictions;
+        Counter promotions;
+        Counter demotions;
+        Counter blockMoves;
+        Counter restrictionEvictions;
+    };
+    Counters cnt;
     Histogram regionHist;
 };
 

@@ -9,59 +9,98 @@ TagArray::TagArray(std::uint64_t capacity_bytes, std::uint32_t assoc,
                    std::uint32_t block_bytes)
     : sets(static_cast<std::uint32_t>(
           capacity_bytes / (std::uint64_t{assoc} * block_bytes))),
-      ways(assoc), blockSize(block_bytes),
-      entries(std::size_t{sets} * assoc),
-      chain(std::size_t{sets} * assoc), head(sets, 0),
-      tail(sets, assoc - 1)
+      ways(assoc), blockSize(block_bytes)
 {
     fatal_if(assoc == 0, "tag array with zero associativity");
+    fatal_if(assoc > 64,
+             "tag array associativity %u outside the bitmap-word "
+             "range 1..64", assoc);
     fatal_if(!isPowerOf2(block_bytes), "block size %u not a power of two",
              block_bytes);
     fatal_if(!isPowerOf2(sets), "set count %u not a power of two", sets);
     blockShift = floorLog2(blockSize);
     tagShift = blockShift + floorLog2(sets);
 
+    strideShift = ceilLog2(ways);
+    wayStride = std::uint32_t{1} << strideShift;
+    waysMask = ways == 64
+        ? ~std::uint64_t{0}
+        : (std::uint64_t{1} << ways) - 1;
+
+    const std::size_t plane = std::size_t{sets} << strideShift;
+    tagPlane.assign(plane, 0);
+    validBits.assign(sets, 0);
+    dirtyBits.assign(sets, 0);
+    groupPlane.assign(plane, 0);
+    framePlane.assign(plane, 0);
+
     // Initial chain order (way index order) is arbitrary: the tail is
     // only consulted once every way is valid, and valid ways have all
     // been touched.
+    chainPrev.assign(plane, 0);
+    chainNext.assign(plane, 0);
+    head.assign(sets, 0);
+    tail.assign(sets, static_cast<std::uint8_t>(ways - 1));
     for (std::uint32_t s = 0; s < sets; ++s) {
-        const std::size_t base = std::size_t{s} * ways;
+        const std::size_t base = rowOf(s);
         for (std::uint32_t w = 0; w < ways; ++w) {
-            chain[base + w].prev = w == 0 ? 0 : w - 1;
-            chain[base + w].next = w + 1 == ways ? w : w + 1;
+            chainPrev[base + w] =
+                static_cast<std::uint8_t>(w == 0 ? 0 : w - 1);
+            chainNext[base + w] =
+                static_cast<std::uint8_t>(w + 1 == ways ? w : w + 1);
         }
     }
 }
 
-TagArray::Entry &
-TagArray::entry(std::uint32_t set, std::uint32_t way)
-{
-    panic_if(set >= sets || way >= ways, "tag entry (%u, %u) out of range",
-             set, way);
-    return entries[std::size_t{set} * ways + way];
-}
-
-const TagArray::Entry &
+TagArray::Entry
 TagArray::entry(std::uint32_t set, std::uint32_t way) const
 {
     panic_if(set >= sets || way >= ways, "tag entry (%u, %u) out of range",
              set, way);
-    return entries[std::size_t{set} * ways + way];
+    const std::size_t idx = rowOf(set) + way;
+    Entry e;
+    e.tag = tagPlane[idx];
+    e.valid = isValid(set, way);
+    e.dirty = isDirty(set, way);
+    e.group = groupPlane[idx];
+    e.frame = framePlane[idx];
+    return e;
+}
+
+void
+TagArray::setEntry(std::uint32_t set, std::uint32_t way, const Entry &e)
+{
+    panic_if(set >= sets || way >= ways, "tag entry (%u, %u) out of range",
+             set, way);
+    const std::size_t idx = rowOf(set) + way;
+    const std::uint64_t bit = std::uint64_t{1} << way;
+    tagPlane[idx] = e.tag;
+    if (e.valid)
+        validBits[set] |= bit;
+    else
+        validBits[set] &= ~bit;
+    if (e.dirty)
+        dirtyBits[set] |= bit;
+    else
+        dirtyBits[set] &= ~bit;
+    groupPlane[idx] = e.group;
+    framePlane[idx] = e.frame;
 }
 
 Addr
 TagArray::blockAddr(std::uint32_t set, std::uint32_t way) const
 {
-    const Entry &e = entry(set, way);
-    return (e.tag * sets + set) * blockSize;
+    panic_if(set >= sets || way >= ways, "tag entry (%u, %u) out of range",
+             set, way);
+    return (tagPlane[rowOf(set) + way] * sets + set) * blockSize;
 }
 
 std::uint64_t
 TagArray::validCount() const
 {
     std::uint64_t n = 0;
-    for (const Entry &e : entries)
-        n += e.valid ? 1 : 0;
+    for (std::uint32_t s = 0; s < sets; ++s)
+        n += static_cast<std::uint64_t>(std::popcount(validBits[s]));
     return n;
 }
 
@@ -69,23 +108,21 @@ bool
 TagArray::audit(AuditSink &sink) const
 {
     bool clean = true;
-    std::vector<std::uint8_t> seen(ways);
     for (std::uint32_t s = 0; s < sets; ++s) {
-        const std::size_t base = std::size_t{s} * ways;
+        const std::size_t base = rowOf(s);
         for (std::uint32_t w = 0; w < ways; ++w) {
-            const Entry &e = entries[base + w];
-            if (!e.valid)
+            if (!((validBits[s] >> w) & 1))
                 continue;
             for (std::uint32_t w2 = w + 1; w2 < ways; ++w2) {
-                const Entry &o = entries[base + w2];
-                if (o.valid && o.tag == e.tag) {
+                if (((validBits[s] >> w2) & 1) &&
+                    tagPlane[base + w2] == tagPlane[base + w]) {
                     clean = false;
                     sink.violation({"tag-array", "duplicate-tag",
                                     strprintf("tag %#llx also in "
                                               "way %u",
                                               static_cast<
                                                   unsigned long long>(
-                                                  e.tag), w2),
+                                                  tagPlane[base + w]), w2),
                                     s, w, AuditViolation::kNoIndex,
                                     AuditViolation::kNoIndex});
                 }
@@ -94,20 +131,20 @@ TagArray::audit(AuditSink &sink) const
 
         // The recency chain must visit every way exactly once from
         // head to tail; a cycle or dropped way corrupts LRU victims.
-        seen.assign(ways, 0);
+        std::uint64_t seen = 0;
         std::uint32_t w = head[s];
         std::uint32_t visited = 0;
         bool broken = false;
         while (visited < ways) {
-            if (w >= ways || seen[w]) {
+            if (w >= ways || ((seen >> w) & 1)) {
                 broken = true;
                 break;
             }
-            seen[w] = 1;
+            seen |= std::uint64_t{1} << w;
             ++visited;
             if (w == tail[s])
                 break;
-            w = chain[base + w].next;
+            w = chainNext[base + w];
         }
         if (broken || visited != ways) {
             clean = false;

@@ -7,6 +7,15 @@
  * pointer* (d-group, frame) to an arbitrary data frame — the decoupling
  * that enables distance associativity (Section 2.1, Figure 1).
  *
+ * State is structure-of-arrays: a contiguous std::uint64_t tag plane
+ * (rows padded to a power-of-two stride), per-set valid/dirty bitmap
+ * words, and parallel forward-pointer planes (byte-wide d-group,
+ * 32-bit frame). The probe is the vectorized kernel of
+ * mem/tag_probe.hh over one dense row. Associativity is capped at 64
+ * so one bitmap word covers a set. Entries are read and written
+ * through by-value Entry views (entry()/setEntry()) so the audit hooks
+ * and tests keep checking the same facts against the packed planes.
+ *
  * Set recency is tracked with an intrusive per-set chain (MRU head,
  * LRU tail), matching DataArray's group chains: touch() is a constant-
  * time unlink/relink instead of a stamp write, and victimWay() reads
@@ -18,10 +27,12 @@
 #ifndef NURAPID_NURAPID_TAG_ARRAY_HH
 #define NURAPID_NURAPID_TAG_ARRAY_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 #include "common/types.hh"
+#include "mem/tag_probe.hh"
 #include "sim/audit/audit.hh"
 
 namespace nurapid {
@@ -29,6 +40,7 @@ namespace nurapid {
 class TagArray
 {
   public:
+    /** By-value view of one tag entry, assembled from the planes. */
     struct Entry
     {
         Addr tag = 0;
@@ -54,20 +66,93 @@ class TagArray
     {
         Lookup result;
         result.set = setOf(addr);
-        const Addr tag = tagOf(addr);
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            const Entry &e = entries[std::size_t{result.set} * ways + w];
-            if (e.valid && e.tag == tag) {
-                result.hit = true;
-                result.way = w;
-                return result;
-            }
+        const std::uint64_t match =
+            probeMatch(&tagPlane[rowOf(result.set)], wayStride,
+                       tagOf(addr)) &
+            validBits[result.set];
+        if (match) {
+            result.hit = true;
+            result.way =
+                static_cast<std::uint32_t>(std::countr_zero(match));
         }
         return result;
     }
 
-    Entry &entry(std::uint32_t set, std::uint32_t way);
-    const Entry &entry(std::uint32_t set, std::uint32_t way) const;
+    /** Reads entry (set, way) as a value (range-checked). */
+    Entry entry(std::uint32_t set, std::uint32_t way) const;
+
+    /** Overwrites every field of entry (set, way) (range-checked). */
+    void setEntry(std::uint32_t set, std::uint32_t way, const Entry &e);
+
+    // Unchecked single-field accessors for the per-reference paths.
+    bool
+    isValid(std::uint32_t set, std::uint32_t way) const
+    {
+        return (validBits[set] >> way) & 1;
+    }
+
+    bool
+    isDirty(std::uint32_t set, std::uint32_t way) const
+    {
+        return (dirtyBits[set] >> way) & 1;
+    }
+
+    std::uint8_t
+    groupOf(std::uint32_t set, std::uint32_t way) const
+    {
+        return groupPlane[rowOf(set) + way];
+    }
+
+    std::uint32_t
+    frameOf(std::uint32_t set, std::uint32_t way) const
+    {
+        return framePlane[rowOf(set) + way];
+    }
+
+    void
+    setDirty(std::uint32_t set, std::uint32_t way, bool dirty)
+    {
+        const std::uint64_t bit = std::uint64_t{1} << way;
+        if (dirty)
+            dirtyBits[set] |= bit;
+        else
+            dirtyBits[set] &= ~bit;
+    }
+
+    /** Redirects the forward pointer of (set, way). */
+    void
+    setForward(std::uint32_t set, std::uint32_t way,
+               std::uint8_t group, std::uint32_t frame)
+    {
+        groupPlane[rowOf(set) + way] = group;
+        framePlane[rowOf(set) + way] = frame;
+    }
+
+    /** Fills (set, way): tag + forward pointer, valid, dirty as given. */
+    void
+    fillEntry(std::uint32_t set, std::uint32_t way, Addr tag, bool dirty,
+              std::uint8_t group, std::uint32_t frame)
+    {
+        const std::size_t row = rowOf(set);
+        const std::uint64_t bit = std::uint64_t{1} << way;
+        tagPlane[row + way] = tag;
+        validBits[set] |= bit;
+        if (dirty)
+            dirtyBits[set] |= bit;
+        else
+            dirtyBits[set] &= ~bit;
+        groupPlane[row + way] = group;
+        framePlane[row + way] = frame;
+    }
+
+    /** Clears valid and dirty of (set, way); tag/pointer go stale. */
+    void
+    invalidateEntry(std::uint32_t set, std::uint32_t way)
+    {
+        const std::uint64_t bit = std::uint64_t{1} << way;
+        validBits[set] &= ~bit;
+        dirtyBits[set] &= ~bit;
+    }
 
     /** Records a use for set-LRU data replacement. */
     void
@@ -75,27 +160,26 @@ class TagArray
     {
         if (head[set] == way)
             return;
-        const std::size_t base = std::size_t{set} * ways;
-        Node &n = chain[base + way];
-        chain[base + n.prev].next = n.next;
+        const std::size_t base = rowOf(set);
+        const std::uint8_t prev = chainPrev[base + way];
+        const std::uint8_t next = chainNext[base + way];
+        chainNext[base + prev] = next;
         if (tail[set] == way)
-            tail[set] = n.prev;
+            tail[set] = prev;
         else
-            chain[base + n.next].prev = n.prev;
-        n.next = head[set];
-        chain[base + head[set]].prev = way;
-        head[set] = way;
+            chainPrev[base + next] = prev;
+        chainNext[base + way] = head[set];
+        chainPrev[base + head[set]] = static_cast<std::uint8_t>(way);
+        head[set] = static_cast<std::uint8_t>(way);
     }
 
     /** An invalid way of @p set if one exists, else the set-LRU way. */
     std::uint32_t
     victimWay(std::uint32_t set) const
     {
-        const std::size_t base = std::size_t{set} * ways;
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            if (!entries[base + w].valid)
-                return w;
-        }
+        const std::uint64_t invalid = ~validBits[set] & waysMask;
+        if (invalid)
+            return static_cast<std::uint32_t>(std::countr_zero(invalid));
         return tail[set];
     }
 
@@ -124,27 +208,40 @@ class TagArray
      * Audits tag-side invariants: no set holds two valid entries with
      * the same tag (set-associative placement, Section 2.1), and each
      * set's recency chain visits every way exactly once. Violations
-     * carry (set, way) context; returns true if clean.
+     * carry (set, way) context; returns true if clean. Allocation-free.
      */
     bool audit(AuditSink &sink) const;
 
   private:
-    /** Intrusive recency-chain node; indices are ways in one set. */
-    struct Node
+    /** First word of @p set's row in the way-indexed planes. */
+    std::size_t
+    rowOf(std::uint32_t set) const
     {
-        std::uint32_t prev = 0;
-        std::uint32_t next = 0;
-    };
+        return std::size_t{set} << strideShift;
+    }
 
     std::uint32_t sets;
     std::uint32_t ways;
     std::uint32_t blockSize;
     unsigned blockShift = 0;  //!< log2(blockSize)
     unsigned tagShift = 0;    //!< log2(blockSize * sets)
-    std::vector<Entry> entries;       //!< [set * ways + way]
-    std::vector<Node> chain;          //!< [set * ways + way]
-    std::vector<std::uint32_t> head;  //!< MRU way per set
-    std::vector<std::uint32_t> tail;  //!< LRU way per set
+    std::uint32_t wayStride = 1;  //!< pow2 plane row width >= ways
+    unsigned strideShift = 0;     //!< log2(wayStride)
+    std::uint64_t waysMask = 0;   //!< low `ways` bits set
+
+    // Structure-of-arrays planes: [set << strideShift | way], plus one
+    // bitmap word per set.
+    std::vector<std::uint64_t> tagPlane;
+    std::vector<std::uint64_t> validBits;   //!< [set]
+    std::vector<std::uint64_t> dirtyBits;   //!< [set]
+    std::vector<std::uint8_t> groupPlane;   //!< forward ptr: d-group
+    std::vector<std::uint32_t> framePlane;  //!< forward ptr: frame
+
+    // Intrusive recency chain (way indices within one set).
+    std::vector<std::uint8_t> chainPrev;  //!< [set << strideShift | way]
+    std::vector<std::uint8_t> chainNext;  //!< [set << strideShift | way]
+    std::vector<std::uint8_t> head;       //!< MRU way per set
+    std::vector<std::uint8_t> tail;       //!< LRU way per set
 };
 
 } // namespace nurapid

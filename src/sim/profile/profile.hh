@@ -10,6 +10,9 @@
  *   core       the warmup/measure loop (cpu/ + L1s + replay)
  *   l2-org     LowerMemory::access calls made from that loop
  *              (a subset of the core bucket, reported separately)
+ *   probe      tag-array probes inside the NUCA organizations'
+ *              access paths (a slice of l2-org, reported separately
+ *              so SoA/SIMD probe-kernel wins are visible)
  *   gang       multi-organization gang traversals (sim/gang.hh; a
  *              subset of the core bucket, reported separately)
  *   stats      metrics extraction + energy accounting
@@ -35,6 +38,7 @@ enum class Bucket : unsigned {
     Distill,
     Core,
     L2Org,
+    Probe,  //!< NUCA tag-array probes (a slice of the l2-org bucket)
     Gang,   //!< gang stream traversals (a slice of the core bucket)
     Stats,
     kCount,

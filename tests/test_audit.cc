@@ -161,9 +161,10 @@ TEST(TagArrayAudit, CleanAfterUse)
     for (Addr a = 0; a < 32; ++a) {
         const auto look = tags.lookup(a * 128);
         const std::uint32_t way = tags.victimWay(look.set);
-        auto &e = tags.entry(look.set, way);
+        auto e = tags.entry(look.set, way);
         e.valid = true;
         e.tag = tags.tagOf(a * 128);
+        tags.setEntry(look.set, way, e);
         tags.touch(look.set, way);
     }
     CountingAuditSink sink;
@@ -175,9 +176,10 @@ TEST(TagArrayAudit, DetectsDuplicateTag)
 {
     TagArray tags(8 * 1024, 4, 128);
     for (const std::uint32_t way : {0u, 1u}) {
-        auto &e = tags.entry(0, way);
+        auto e = tags.entry(0, way);
         e.valid = true;
         e.tag = 42;
+        tags.setEntry(0, way, e);
     }
     CountingAuditSink sink;
     EXPECT_FALSE(tags.audit(sink));
@@ -210,7 +212,9 @@ TEST(DataArrayAudit, DetectsFrameFlippedValidBehindFreeList)
     DataArray data(2, 8, 1, DistanceRepl::LRU, 5);
     // Frame 3 of group 0 is on the free list; flip it valid without
     // allocating — the free list and the valid partition now disagree.
-    data.frame(0, 3).valid = true;
+    auto fr = data.frame(0, 3);
+    fr.valid = true;
+    data.setFrame(0, 3, fr);
     CountingAuditSink sink;
     EXPECT_FALSE(data.audit(sink));
     EXPECT_TRUE(reported(sink, "free-valid-frame") ||
@@ -223,7 +227,9 @@ TEST(DataArrayAudit, DetectsPlacedFrameFlippedInvalid)
     DataArray data(2, 8, 1, DistanceRepl::LRU, 5);
     const std::uint32_t f = data.allocFrame(0, 0);
     data.place(0, f, 0, 0);
-    data.frame(0, f).valid = false;  // still LRU-chained, not freed
+    auto fr = data.frame(0, f);
+    fr.valid = false;  // still LRU-chained, not freed
+    data.setFrame(0, f, fr);
     CountingAuditSink sink;
     EXPECT_FALSE(data.audit(sink));
     EXPECT_TRUE(reported(sink, "chain-invalid-frame") ||
@@ -262,8 +268,9 @@ TEST(NuRapidAudit, DetectsForwardPointerCorruption)
     NuRapidCache c(model(), smallParams());
     churn(c, 2000);
     const auto [s, w] = firstValidEntry(c);
-    auto &e = c.tagsForTesting().entry(s, w);
+    auto e = c.tagsForTesting().entry(s, w);
     e.frame = (e.frame + 1) % c.data().framesPerGroup();
+    c.tagsForTesting().setEntry(s, w, e);
 
     CountingAuditSink sink;
     EXPECT_FALSE(c.audit(sink));
@@ -278,7 +285,9 @@ TEST(NuRapidAudit, DetectsForwardPointerOutOfRange)
     NuRapidCache c(model(), smallParams());
     churn(c, 2000);
     const auto [s, w] = firstValidEntry(c);
-    c.tagsForTesting().entry(s, w).frame = c.data().framesPerGroup();
+    auto e = c.tagsForTesting().entry(s, w);
+    e.frame = c.data().framesPerGroup();
+    c.tagsForTesting().setEntry(s, w, e);
 
     CountingAuditSink sink;
     EXPECT_FALSE(c.audit(sink));
@@ -302,9 +311,10 @@ TEST(NuRapidAudit, DetectsReversePointerCorruption)
         for (std::uint32_t f = 0; f < c.data().framesPerGroup(); ++f) {
             if (!c.data().frame(g, f).valid)
                 continue;
-            auto &fr = c.dataForTesting().frame(g, f);
+            auto fr = c.dataForTesting().frame(g, f);
             fr.way = static_cast<std::uint16_t>(
                 (fr.way + 1) % c.tags().assoc());
+            c.dataForTesting().setFrame(g, f, fr);
             CountingAuditSink sink;
             EXPECT_FALSE(c.audit(sink));
             EXPECT_TRUE(reported(sink, "reverse-forward-mismatch") ||
@@ -327,7 +337,7 @@ TEST(NuRapidAudit, DetectsRegionRestrictionViolation)
     churn(c, 2000);
 
     const auto [s, w] = firstValidEntry(c);
-    auto &e = c.tagsForTesting().entry(s, w);
+    auto e = c.tagsForTesting().entry(s, w);
     const std::uint32_t wrong =
         (e.frame + 8) % c.data().framesPerGroup();
     ASSERT_NE(c.data().regionOfFrame(wrong),
@@ -336,13 +346,18 @@ TEST(NuRapidAudit, DetectsRegionRestrictionViolation)
     // Evict whatever lives in the destination frame's slot by swapping
     // pointers is overkill here: just repoint both directions at a
     // frame we first clear.
-    auto &dest = c.dataForTesting().frame(e.group, wrong);
-    auto &src = c.dataForTesting().frame(e.group, e.frame);
-    if (dest.valid)
-        c.tagsForTesting().entry(dest.set, dest.way).valid = false;
-    dest = src;
+    auto dest = c.dataForTesting().frame(e.group, wrong);
+    auto src = c.dataForTesting().frame(e.group, e.frame);
+    if (dest.valid) {
+        auto de = c.tagsForTesting().entry(dest.set, dest.way);
+        de.valid = false;
+        c.tagsForTesting().setEntry(dest.set, dest.way, de);
+    }
+    c.dataForTesting().setFrame(e.group, wrong, src);
     src.valid = false;
+    c.dataForTesting().setFrame(e.group, e.frame, src);
     e.frame = wrong;
+    c.tagsForTesting().setEntry(s, w, e);
 
     // The surgery above also disturbs the data-array free list, so
     // keep plenty of violations — region-restriction must be among

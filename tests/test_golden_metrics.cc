@@ -105,6 +105,11 @@ const Golden kGoldens[] = {
     {"dnuca", "mcf", 9255618ull, 2521341ull, 132528ull, 110866ull, 21662ull, 54585ull, 0ull, 109170ull, 1668599ull},
     {"sa-place", "mcf", 9057001ull, 2521341ull, 132528ull, 110734ull, 21794ull, 25106ull, 56419ull, 81525ull, 342305ull},
     {"snuca", "mcf", 18655164ull, 2521341ull, 132528ull, 58716ull, 73812ull, 0ull, 0ull, 0ull, 0ull},
+    {"base", "twolf", 4131769ull, 2516098ull, 56330ull, 50219ull, 6111ull, 0ull, 0ull, 0ull, 0ull},
+    {"nurapid", "twolf", 4007275ull, 2516098ull, 56330ull, 50219ull, 6111ull, 0ull, 0ull, 0ull, 76400ull},
+    {"dnuca", "twolf", 4204975ull, 2516098ull, 56330ull, 50219ull, 6111ull, 31911ull, 0ull, 63822ull, 744955ull},
+    {"sa-place", "twolf", 4029345ull, 2516098ull, 56330ull, 50219ull, 6111ull, 5182ull, 7676ull, 12858ull, 102116ull},
+    {"snuca", "twolf", 8594701ull, 2516098ull, 56330ull, 23655ull, 32675ull, 0ull, 0ull, 0ull, 0ull},
 };
 
 TEST(GoldenMetrics, FiveOrganizationsMatchCheckedInCounters)

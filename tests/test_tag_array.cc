@@ -7,6 +7,15 @@
 namespace nurapid {
 namespace {
 
+/** Flips entry (set, way) valid through the by-value view. */
+void
+markValid(TagArray &t, std::uint32_t set, std::uint32_t way)
+{
+    TagArray::Entry e = t.entry(set, way);
+    e.valid = true;
+    t.setEntry(set, way, e);
+}
+
 TEST(TagArray, Shape)
 {
     TagArray t(8ull << 20, 8, 128);
@@ -28,11 +37,12 @@ TEST(TagArray, InsertAndLookup)
     TagArray t(64 * 1024, 4, 128);
     const Addr addr = 0x7f3480;
     const auto set = t.setOf(addr);
-    TagArray::Entry &e = t.entry(set, 2);
+    TagArray::Entry e = t.entry(set, 2);
     e.valid = true;
     e.tag = t.tagOf(addr);
     e.group = 1;
     e.frame = 77;
+    t.setEntry(set, 2, e);
     auto l = t.lookup(addr);
     ASSERT_TRUE(l.hit);
     EXPECT_EQ(l.set, set);
@@ -47,9 +57,10 @@ TEST(TagArray, BlockAddrRoundTrip)
                       Addr{0x123456780}}) {
         const Addr block = addr & ~Addr{127};
         const auto set = t.setOf(block);
-        TagArray::Entry &e = t.entry(set, 0);
+        TagArray::Entry e = t.entry(set, 0);
         e.valid = true;
         e.tag = t.tagOf(block);
+        t.setEntry(set, 0, e);
         EXPECT_EQ(t.blockAddr(set, 0), block);
     }
 }
@@ -57,8 +68,8 @@ TEST(TagArray, BlockAddrRoundTrip)
 TEST(TagArray, VictimPrefersInvalidWay)
 {
     TagArray t(64 * 1024, 4, 128);
-    t.entry(3, 0).valid = true;
-    t.entry(3, 1).valid = true;
+    markValid(t, 3, 0);
+    markValid(t, 3, 1);
     t.touch(3, 0);
     t.touch(3, 1);
     EXPECT_EQ(t.victimWay(3), 2u);  // first invalid way
@@ -68,7 +79,7 @@ TEST(TagArray, VictimIsSetLru)
 {
     TagArray t(64 * 1024, 4, 128);
     for (std::uint32_t w = 0; w < 4; ++w) {
-        t.entry(5, w).valid = true;
+        markValid(t, 5, w);
         t.touch(5, w);
     }
     t.touch(5, 0);  // way 1 is now LRU
@@ -81,8 +92,8 @@ TEST(TagArray, ValidCount)
 {
     TagArray t(64 * 1024, 4, 128);
     EXPECT_EQ(t.validCount(), 0u);
-    t.entry(0, 0).valid = true;
-    t.entry(9, 3).valid = true;
+    markValid(t, 0, 0);
+    markValid(t, 9, 3);
     EXPECT_EQ(t.validCount(), 2u);
 }
 
