@@ -92,6 +92,22 @@ for config in $configs; do
             run_logged ctest_tier1_gang0.log 3 \
                 ctest -L tier1 -j "$jobs" --output-on-failure)
 
+        # Stream-lookahead prefetch defaults on; the suite must hold
+        # with the hints disabled (they never touch simulated state,
+        # so this bracket catches any accidental coupling).
+        echo "=== [$config] ctest -L tier1 (NURAPID_PREFETCH=0) ==="
+        (cd "$dir" && export NURAPID_PREFETCH=0 &&
+            run_logged ctest_tier1_prefetch0.log 3 \
+                ctest -L tier1 -j "$jobs" --output-on-failure)
+
+        # Scalar-probe fallback + packed rank planes: the suite must
+        # hold with the SIMD tag probe forced off, pinning the rank
+        # planes against the scalar probe path they coexist with.
+        echo "=== [$config] ctest -L tier1 (NURAPID_FORCE_SCALAR_PROBE=1) ==="
+        (cd "$dir" && export NURAPID_FORCE_SCALAR_PROBE=1 &&
+            run_logged ctest_tier1_scalar.log 3 \
+                ctest -L tier1 -j "$jobs" --output-on-failure)
+
         echo "=== [$config] obs smoke (flight recorder + report) ==="
         obs_dir="$dir/obs_smoke"
         rm -rf "$obs_dir"
@@ -164,6 +180,29 @@ for config in $configs; do
             echo "gang bracket: gang-on and gang-off sweeps disagree" \
                  "(diff $gang_dir/on.dump $gang_dir/off.dump)" >&2
             exit 1; }
+
+        # Cohort-identity bracket: footprint tiling with a 1-byte LLC
+        # budget (one lane per cohort, maximum re-traversal) must fill
+        # a cache whose normalized dump matches the naive all-lanes
+        # gang byte for byte.
+        echo "=== [$config] cohort-identity bracket (footprint vs naive) ==="
+        NURAPID_SIM_SCALE=0.02 NURAPID_RUN_CACHE="$gang_dir/tiled.json" \
+            NURAPID_GANG_SCHED=footprint NURAPID_GANG_LLC_BYTES=1 \
+            "$dir/src/tools/nurapid_sim" --org all --suite --gang on \
+            > /dev/null
+        NURAPID_SIM_SCALE=0.02 NURAPID_RUN_CACHE="$gang_dir/naive.json" \
+            NURAPID_GANG_SCHED=naive \
+            "$dir/src/tools/nurapid_sim" --org all --suite --gang on \
+            > /dev/null
+        "$dir/src/tools/nurapid_sim" --dump-cache "$gang_dir/tiled.json" \
+            > "$gang_dir/tiled.dump"
+        "$dir/src/tools/nurapid_sim" --dump-cache "$gang_dir/naive.json" \
+            > "$gang_dir/naive.dump"
+        cmp -s "$gang_dir/tiled.dump" "$gang_dir/naive.dump" || {
+            echo "cohort bracket: footprint and naive gang scheduling" \
+                 "disagree (diff $gang_dir/tiled.dump" \
+                 "$gang_dir/naive.dump)" >&2
+            exit 1; }
     fi
 
     echo "=== [$config] fuzz smoke ($fuzz_iters iters, audits on) ==="
@@ -181,7 +220,7 @@ for config in $configs; do
         smoke_log="$dir/perf_smoke.log"
         (export NURAPID_SIM_SCALE=0.05 NURAPID_RUN_CACHE="$smoke_cache" &&
             run_logged "$smoke_log" 2 \
-                sh scripts/regen_bench.sh "$dir" --quiet)
+                sh scripts/regen_bench.sh "$dir" --quiet --repeat 1)
         grep -q '^\[profile\]' "$smoke_log" || {
             echo "perf smoke: no [profile] footer in sweep output" >&2
             exit 1
@@ -202,7 +241,7 @@ for config in $configs; do
         (export NURAPID_DISTILL=0 NURAPID_SIM_SCALE=0.05 \
             NURAPID_RUN_CACHE="$off_cache" &&
             run_logged "$off_log" 1 \
-                sh scripts/regen_bench.sh "$dir" --quiet)
+                sh scripts/regen_bench.sh "$dir" --quiet --repeat 1)
         # Sums a named footer bucket ("distill 0.123s" ...) over every
         # [profile] line in a log. Values inside the parenthesized
         # core breakdown carry trailing punctuation ("0.123s)"), so
@@ -219,6 +258,7 @@ for config in $configs; do
         core_on_s=$(bucket_sum "$smoke_log" core)
         core_off_s=$(bucket_sum "$off_log" core)
         gang_s=$(bucket_sum "$smoke_log" gang)
+        recency_s=$(bucket_sum "$smoke_log" recency)
         echo "perf smoke: distill ${distill_s}s," \
              "core ${core_on_s}s (distilled) vs ${core_off_s}s (live)"
         awk -v d="$distill_s" 'BEGIN { exit !(d > 0) }' || {
@@ -238,44 +278,57 @@ for config in $configs; do
             echo "perf smoke: no Gang bucket in the profile" >&2
             exit 1
         }
+        # The packed rank planes carry their own footer slice; a zero
+        # bucket means the recency probes fell off the hot paths.
+        echo "perf smoke: recency bucket ${recency_s}s"
+        awk -v r="$recency_s" 'BEGIN { exit !(r > 0) }' || {
+            echo "perf smoke: no Recency bucket in the profile" >&2
+            exit 1
+        }
 
-        # Wall-time ratchet on a representative sim-driven bench: more
+        # Wall-time ratchet on representative sim-driven benches: more
         # than 25% over this host's recorded baseline fails the gate.
-        # The baseline file is per-host so numbers from different
-        # machines never compare against each other; it is recorded on
-        # first run and ratcheted downward on improvement. Delete it to
-        # re-baseline after an intentional slowdown.
-        echo "=== [$config] perf guard (bench_ablation_pointers) ==="
+        # The baseline files are per-host so numbers from different
+        # machines never compare against each other; each is recorded
+        # on first run and ratcheted downward on improvement. Delete
+        # one to re-baseline after an intentional slowdown.
+        # bench_ablation_pointers exercises the NuRAPID pointer planes;
+        # bench_lru_approximation hammers exactly the recency state the
+        # packed rank planes replaced.
         guard_dir="scripts/perf-baselines"
         mkdir -p "$guard_dir"
-        guard_file="$guard_dir/bench_ablation_pointers.$(uname -n).s"
-        guard_log="$dir/perf_guard.log"
-        guard_t0=$(date +%s.%N)
-        (export NURAPID_SIM_SCALE=0.05 &&
-            run_logged "$guard_log" 1 \
-                "$dir/bench/bench_ablation_pointers")
-        guard_t1=$(date +%s.%N)
-        guard_s=$(awk -v a="$guard_t0" -v b="$guard_t1" \
-            'BEGIN { printf "%.2f", b - a }')
-        if [ ! -s "$guard_file" ]; then
-            echo "$guard_s" > "$guard_file"
-            echo "perf guard: recorded baseline ${guard_s}s" \
-                 "in $guard_file"
-        else
-            guard_base=$(cat "$guard_file")
-            echo "perf guard: ${guard_s}s vs baseline ${guard_base}s"
-            awk -v s="$guard_s" -v b="$guard_base" \
-                'BEGIN { exit !(s <= b * 1.25) }' || {
-                echo "perf guard: bench_ablation_pointers took" \
-                     "${guard_s}s, more than 25% over the" \
-                     "${guard_base}s baseline in $guard_file" >&2
-                exit 1
-            }
-            if awk -v s="$guard_s" -v b="$guard_base" \
-                'BEGIN { exit !(s < b) }'; then
+        for guard_bench in bench_ablation_pointers \
+                           bench_lru_approximation; do
+            echo "=== [$config] perf guard ($guard_bench) ==="
+            guard_file="$guard_dir/$guard_bench.$(uname -n).s"
+            guard_log="$dir/perf_guard_$guard_bench.log"
+            guard_t0=$(date +%s.%N)
+            (export NURAPID_SIM_SCALE=0.05 &&
+                run_logged "$guard_log" 1 \
+                    "$dir/bench/$guard_bench")
+            guard_t1=$(date +%s.%N)
+            guard_s=$(awk -v a="$guard_t0" -v b="$guard_t1" \
+                'BEGIN { printf "%.2f", b - a }')
+            if [ ! -s "$guard_file" ]; then
                 echo "$guard_s" > "$guard_file"
+                echo "perf guard: recorded baseline ${guard_s}s" \
+                     "in $guard_file"
+            else
+                guard_base=$(cat "$guard_file")
+                echo "perf guard: ${guard_s}s vs baseline ${guard_base}s"
+                awk -v s="$guard_s" -v b="$guard_base" \
+                    'BEGIN { exit !(s <= b * 1.25) }' || {
+                    echo "perf guard: $guard_bench took" \
+                         "${guard_s}s, more than 25% over the" \
+                         "${guard_base}s baseline in $guard_file" >&2
+                    exit 1
+                }
+                if awk -v s="$guard_s" -v b="$guard_base" \
+                    'BEGIN { exit !(s < b) }'; then
+                    echo "$guard_s" > "$guard_file"
+                fi
             fi
-        fi
+        done
     fi
 done
 

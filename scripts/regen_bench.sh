@@ -5,7 +5,15 @@
 # later regeneration is served almost entirely from the cache file.
 #
 # Usage:
-#   scripts/regen_bench.sh [BUILD_DIR] [--jobs N] [--no-cache] [--quiet]
+#   scripts/regen_bench.sh [BUILD_DIR] [--jobs N] [--repeat N]
+#                          [--no-cache] [--quiet]
+#
+# --repeat N (default 3) runs every bench binary N times and records
+# the *median* per-binary wall_ms, taming host noise in the tracked
+# timings. The shared run cache is snapshotted before each binary's
+# first run and restored before every repeat, so all N runs redo the
+# same simulation work instead of hitting the first run's cache
+# entries; repeats past the first print nothing.
 #
 # Environment (forwarded to the binaries' run engine):
 #   NURAPID_JOBS             worker threads per binary (default: all cores)
@@ -28,21 +36,30 @@ set -eu
 
 build_dir=build
 quiet=0
+repeat=3
 while [ $# -gt 0 ]; do
     case "$1" in
       --jobs)
         NURAPID_JOBS="$2"; export NURAPID_JOBS; shift 2 ;;
+      --repeat)
+        repeat="$2"; shift 2 ;;
       --no-cache)
         unset NURAPID_RUN_CACHE || true
         no_cache=1; shift ;;
       --quiet)
         quiet=1; shift ;;
       -h|--help)
-        sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
       *)
         build_dir="$1"; shift ;;
     esac
 done
+
+case "$repeat" in
+  ''|*[!0-9]*|0)
+    echo "error: --repeat needs a positive integer, got '$repeat'" >&2
+    exit 2 ;;
+esac
 
 if [ ! -d "$build_dir/bench" ]; then
     echo "error: '$build_dir/bench' not found (configure and build first:" >&2
@@ -76,14 +93,40 @@ binaries_json=""
 start_ns=$(date +%s%N)
 for b in $benches; do
     echo "=== $b ==="
-    b_start_ns=$(date +%s%N)
-    if [ "$quiet" -eq 1 ]; then
-        "$build_dir/bench/$b" | tail -n 2
-    else
-        "$build_dir/bench/$b"
+    # Snapshot the shared run cache so repeats 2..N redo the first
+    # run's simulation work instead of reading its cache entries; the
+    # last repeat's (identical) cache state is what later binaries see.
+    snap=""
+    if [ "${no_cache:-0}" -eq 0 ] && [ -n "${NURAPID_RUN_CACHE:-}" ]; then
+        snap="$NURAPID_RUN_CACHE.repeat-snap"
+        rm -f "$snap"
+        [ -s "$NURAPID_RUN_CACHE" ] && cp "$NURAPID_RUN_CACHE" "$snap"
     fi
-    b_end_ns=$(date +%s%N)
-    b_ms=$(( (b_end_ns - b_start_ns) / 1000000 ))
+    times_ms=""
+    i=1
+    while [ "$i" -le "$repeat" ]; do
+        if [ "$i" -gt 1 ] && [ -n "$snap" ]; then
+            if [ -s "$snap" ]; then
+                cp "$snap" "$NURAPID_RUN_CACHE"
+            else
+                rm -f "$NURAPID_RUN_CACHE"
+            fi
+        fi
+        b_start_ns=$(date +%s%N)
+        if [ "$i" -gt 1 ]; then
+            "$build_dir/bench/$b" > /dev/null
+        elif [ "$quiet" -eq 1 ]; then
+            "$build_dir/bench/$b" | tail -n 2
+        else
+            "$build_dir/bench/$b"
+        fi
+        b_end_ns=$(date +%s%N)
+        times_ms="$times_ms $(( (b_end_ns - b_start_ns) / 1000000 ))"
+        i=$((i + 1))
+    done
+    [ -n "$snap" ] && rm -f "$snap"
+    b_ms=$(printf '%s\n' $times_ms | sort -n | awk \
+        '{ v[NR] = $1 } END { print v[int((NR + 1) / 2)] }')
     [ -n "$binaries_json" ] && binaries_json="$binaries_json,"
     binaries_json="$binaries_json
     {\"name\": \"$b\", \"wall_ms\": $b_ms}"
@@ -108,6 +151,7 @@ cat > "$sweep_json" <<EOF
   "cold": $cold,
   "jobs": "${NURAPID_JOBS:-auto}",
   "sim_scale": "${NURAPID_SIM_SCALE:-1}",
+  "repeat": $repeat,
   "unique_configs": $unique_configs,
   "total_wall_ms": $total_ms,
   "binaries": [$binaries_json

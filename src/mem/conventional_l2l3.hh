@@ -68,6 +68,22 @@ class ConventionalL2L3 final : public LowerMemory
     SetAssocCache &l3() { return l3Cache; }
     MainMemory &memory() { return mem; }
 
+    /** Stream-lookahead hint (name-hiding, see LowerMemory): every
+     *  access probes the L2 first, and most misses continue to L3. */
+    void
+    prefetchHotLines(Addr addr) const
+    {
+        l2Cache.prefetchHotLines(addr);
+        l3Cache.prefetchHotLines(addr);
+    }
+
+    /** L2 + L3 plane footprint for gang cohort budgeting. */
+    std::size_t
+    hotStateBytes() const override
+    {
+        return l2Cache.hotBytes() + l3Cache.hotBytes();
+    }
+
   private:
     std::string orgName = "conventional-l2l3";
     Params p;

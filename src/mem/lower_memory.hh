@@ -135,6 +135,25 @@ class LowerMemory
         out.clear();
     }
 
+    /**
+     * Stream-lookahead prefetch hint: pull the plane lines an upcoming
+     * access to @p addr will touch into the host cache. Deliberately
+     * non-virtual — the devirtualized replay loops resolve the
+     * concrete organization's name-hiding overload at compile time,
+     * and polymorphic callers (tools, the oracle) get this free no-op.
+     * Never changes simulated state, so prefetch on/off is
+     * bit-identical by construction.
+     */
+    void prefetchHotLines(Addr) const {}
+
+    /**
+     * Bytes of host memory the organization's per-reference hot state
+     * occupies (tag/rank/pointer planes, bitmaps). The gang replayer
+     * tiles lanes into cohorts whose combined footprint fits the host
+     * LLC budget. Default 0 = "free" (toy caches, the oracle).
+     */
+    virtual std::size_t hotStateBytes() const { return 0; }
+
   protected:
     /** Flight-recorder sink; null (the common case) when detached. */
     EventSink *obsSink = nullptr;

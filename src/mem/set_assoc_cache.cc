@@ -48,21 +48,9 @@ SetAssocCache::SetAssocCache(const CacheOrg &org)
 
     switch (org.repl) {
       case ReplPolicy::LRU:
-        // Link each set's ways in index order; the order is arbitrary
-        // (every way is touched at fill before the chain is consulted).
-        lruHead.assign(sets, 0);
-        lruTail.assign(sets, static_cast<std::uint8_t>(org.assoc - 1));
-        lruPrev.assign(std::size_t{sets} << strideShift, 0);
-        lruNext.assign(std::size_t{sets} << strideShift, 0);
-        for (std::uint32_t s = 0; s < sets; ++s) {
-            const std::size_t base = rowOf(s);
-            for (std::uint32_t w = 0; w < org.assoc; ++w) {
-                lruPrev[base + w] =
-                    static_cast<std::uint8_t>(w == 0 ? 0 : w - 1);
-                lruNext[base + w] = static_cast<std::uint8_t>(
-                    w + 1 == org.assoc ? w : w + 1);
-            }
-        }
+        // Rank each set's ways in index order; the order is arbitrary
+        // (every way is touched at fill before a victim is consulted).
+        lruRanks.init(sets, org.assoc);
         break;
       case ReplPolicy::TreePLRU:
         fatal_if(!isPowerOf2(org.assoc) || org.assoc < 2,
@@ -205,31 +193,15 @@ SetAssocCache::audit(AuditSink &sink) const
     }
 
     if (organization.repl == ReplPolicy::LRU) {
-        // The recency chain must visit every way exactly once from
-        // head to tail; a cycle or dropped way corrupts victim choice.
+        // The rank plane must hold a permutation of 0..assoc-1 per
+        // set; a duplicated or out-of-range rank corrupts victim
+        // choice (and voids the exact-LRU tie-free guarantee).
         for (std::uint32_t s = 0; s < sets; ++s) {
-            const std::size_t base = rowOf(s);
-            std::uint64_t seen = 0;
-            std::uint32_t w = lruHead[s];
-            std::uint32_t visited = 0;
-            bool broken = false;
-            while (visited < organization.assoc) {
-                if (w >= organization.assoc ||
-                    ((seen >> w) & 1)) {
-                    broken = true;
-                    break;
-                }
-                seen |= std::uint64_t{1} << w;
-                ++visited;
-                if (w == lruTail[s])
-                    break;
-                w = lruNext[base + w];
-            }
-            if (broken || visited != organization.assoc) {
+            if (!lruRanks.isPermutation(s)) {
                 clean = false;
-                sink.violation({organization.name, "lru-chain",
-                                strprintf("set %u recency chain visits "
-                                          "%u of %u ways", s, visited,
+                sink.violation({organization.name, "lru-rank",
+                                strprintf("set %u recency ranks are not "
+                                          "a permutation of %u ways", s,
                                           organization.assoc),
                                 s, AuditViolation::kNoIndex,
                                 AuditViolation::kNoIndex,

@@ -9,21 +9,21 @@
  *
  * Hot state is laid out structure-of-arrays: one contiguous
  * std::uint64_t tag plane (rows padded to a power-of-two stride), one
- * valid and one dirty bitmap word per set, and byte-wide LRU chain
- * planes — the probe path touches one dense row plus two bitmap words
- * instead of walking an array of per-Line records. The tag compare
- * itself is the vectorized kernel of mem/tag_probe.hh. Associativity
- * is capped at 64 so one bitmap word always covers a set.
+ * valid and one dirty bitmap word per set, and a packed exact-LRU
+ * rank plane (mem/rank_plane.hh) — the probe path touches one dense
+ * row plus three words instead of walking an array of per-Line
+ * records. The tag compare itself is the vectorized kernel of
+ * mem/tag_probe.hh. Associativity is capped at 64 so one bitmap word
+ * always covers a set.
  *
  * The replacement policy is embedded rather than held behind the
  * polymorphic Replacer interface: access() sits inside the simulator's
  * per-reference loop (every L1 I/D reference lands here), so the
- * policy update must inline into it. LRU uses an intrusive
- * doubly-linked chain per set (MRU at head, victim at tail) — exactly
- * equivalent to stamp-based LRU because victim() is only consulted
- * when every way is valid and stamps are globally unique, so there are
- * no ties for a chain order to break differently. Tree-PLRU and
- * Random mirror the Replacer implementations bit for bit.
+ * policy update must inline into it. LRU keeps a per-set permutation
+ * of way ranks (rank 0 = MRU, max rank = victim) — exactly equivalent
+ * to chain- or stamp-based LRU because ranks are always distinct, so
+ * there are no ties for an encoding to break differently. Tree-PLRU
+ * and Random mirror the Replacer implementations bit for bit.
  */
 
 #ifndef NURAPID_MEM_SET_ASSOC_CACHE_HH
@@ -38,6 +38,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/rank_plane.hh"
 #include "mem/replacement.hh"
 #include "mem/tag_probe.hh"
 #include "sim/audit/audit.hh"
@@ -160,6 +161,29 @@ class SetAssocCache
      */
     bool audit(AuditSink &sink) const;
 
+    /** Hints the upcoming access's hot plane lines into cache:
+     *  the tag row, the valid bitmap word, and (under LRU) the rank
+     *  word. Pure prefetch — no architectural state changes. */
+    void
+    prefetchHotLines(Addr addr) const
+    {
+        const std::uint32_t set = setIndex(addr);
+        __builtin_prefetch(&tagPlane[rowOf(set)], 0, 3);
+        __builtin_prefetch(&validBits[set], 0, 3);
+        if (organization.repl == ReplPolicy::LRU)
+            __builtin_prefetch(lruRanks.setWords(set), 1, 3);
+    }
+
+    /** Bytes of per-reference hot state (planes + bitmaps), the
+     *  currency of the gang scheduler's footprint budget. */
+    std::size_t
+    hotBytes() const
+    {
+        return (tagPlane.size() + validBits.size() + dirtyBits.size()) *
+                   sizeof(std::uint64_t) +
+               lruRanks.bytes() + plruTree.size();
+    }
+
   private:
     Addr tagOf(Addr addr) const { return addr >> tagShift; }
 
@@ -179,7 +203,7 @@ class SetAssocCache
     {
         switch (organization.repl) {
           case ReplPolicy::LRU:
-            lruTouch(set, way);
+            lruRanks.touch(set, way);
             break;
           case ReplPolicy::TreePLRU:
             plruTouch(set, way);
@@ -195,34 +219,13 @@ class SetAssocCache
     {
         switch (organization.repl) {
           case ReplPolicy::LRU:
-            return lruTail[set];
+            return lruRanks.lruWay(set);
           case ReplPolicy::TreePLRU:
             return plruVictim(set);
           case ReplPolicy::Random:
             return replRng.below(organization.assoc);
         }
         return 0;
-    }
-
-    /** Moves @p way to the MRU end of its set's chain. */
-    void
-    lruTouch(std::uint32_t set, std::uint32_t way)
-    {
-        if (lruHead[set] == way)
-            return;
-        const std::size_t row = rowOf(set);
-        const std::uint8_t prev = lruPrev[row + way];
-        const std::uint8_t next = lruNext[row + way];
-        // Unlink (way is not head, so it has a live prev).
-        lruNext[row + prev] = next;
-        if (lruTail[set] == way)
-            lruTail[set] = prev;
-        else
-            lruPrev[row + next] = prev;
-        // Relink at head.
-        lruNext[row + way] = lruHead[set];
-        lruPrev[row + lruHead[set]] = static_cast<std::uint8_t>(way);
-        lruHead[set] = static_cast<std::uint8_t>(way);
     }
 
     void
@@ -281,11 +284,8 @@ class SetAssocCache
     std::vector<std::uint64_t> dirtyBits;  //!< [set]
 
     // Embedded replacement state (only the active policy's planes are
-    // populated). The LRU chain stores way indices per set.
-    std::vector<std::uint8_t> lruPrev;   //!< [set << strideShift | way]
-    std::vector<std::uint8_t> lruNext;   //!< [set << strideShift | way]
-    std::vector<std::uint8_t> lruHead;   //!< MRU way per set
-    std::vector<std::uint8_t> lruTail;   //!< LRU way per set
+    // populated). LRU is a packed per-set rank permutation.
+    RankPlane lruRanks;
     std::uint32_t plruNodesPerSet = 0;
     std::vector<std::uint8_t> plruTree;  //!< [set * nodesPerSet + node]
     Rng replRng;

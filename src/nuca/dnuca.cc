@@ -44,7 +44,7 @@ DNucaCache::DNucaCache(const SramMacroModel &model, const Params &params)
     tagPlane.assign(std::size_t{sets} << strideShift, 0);
     validBits.assign(sets, 0);
     dirtyBits.assign(sets, 0);
-    stamps.assign(std::size_t{sets} << strideShift, 0);
+    ranks.init(sets, p.assoc);
 
     statGroup.addCounter("demand_accesses", cnt.demandAccesses);
     statGroup.addCounter("writeback_accesses", cnt.writebackAccesses);
@@ -88,28 +88,26 @@ DNucaCache::rowOfWay(std::uint32_t way) const
 void
 DNucaCache::touch(std::uint32_t set, std::uint32_t way)
 {
-    stamps[rowBase(set) + way] = ++clock;
+    NURAPID_PROFILE_SCOPE(Recency);
+    ranks.touch(set, way);
 }
 
 std::uint32_t
 DNucaCache::lruWayInRow(std::uint32_t set, std::uint32_t row) const
 {
     const std::uint32_t first = row * waysPerRow;
-    const std::size_t base = rowBase(set);
+    const std::uint64_t row_bits = waysPerRow >= 64
+        ? ~std::uint64_t{0}
+        : (std::uint64_t{1} << waysPerRow) - 1;
     // Lowest invalid way of the row wins outright.
     const std::uint64_t row_invalid =
-        (~validBits[set] >> first) &
-        ((std::uint64_t{1} << waysPerRow) - 1);
+        (~validBits[set] >> first) & row_bits;
     if (row_invalid) {
         return first +
             static_cast<std::uint32_t>(std::countr_zero(row_invalid));
     }
-    std::uint32_t best = first;
-    for (std::uint32_t w = first; w < first + waysPerRow; ++w) {
-        if (stamps[base + w] < stamps[base + best])
-            best = w;
-    }
-    return best;
+    NURAPID_PROFILE_SCOPE(Recency);
+    return ranks.lruWayMasked(set, row_bits << first);
 }
 
 Cycle
@@ -247,7 +245,7 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
             std::swap(tagPlane[base + hit_way], tagPlane[base + victim]);
             swapBits(validBits[set], hit_way, victim);
             swapBits(dirtyBits[set], hit_way, victim);
-            std::swap(stamps[base + hit_way], stamps[base + victim]);
+            ranks.swapWays(set, hit_way, victim);
             ++cnt.promotions;
             cnt.blockMoves += 2;
             cnt.bankDataAccesses += 4;
@@ -387,20 +385,30 @@ DNucaCache::audit(AuditSink &sink) const
                                     AuditViolation::kNoIndex});
                 }
             }
-            if (stamps[base + w] > clock) {
-                clean = false;
-                sink.violation({p.name, "stamp-beyond-clock",
-                                strprintf("stamp %llu > clock %llu",
-                                          static_cast<unsigned long long>(
-                                              stamps[base + w]),
-                                          static_cast<unsigned long long>(
-                                              clock)),
-                                s, w, AuditViolation::kNoIndex,
-                                AuditViolation::kNoIndex});
-            }
+        }
+
+        // The rank plane must hold a permutation of 0..assoc-1 per
+        // set, or recency scans lose their tie-free guarantee.
+        if (!ranks.isPermutation(s)) {
+            clean = false;
+            sink.violation({p.name, "lru-rank",
+                            strprintf("set %u recency ranks are not a "
+                                      "permutation of %u ways", s,
+                                      p.assoc),
+                            s, AuditViolation::kNoIndex,
+                            AuditViolation::kNoIndex,
+                            AuditViolation::kNoIndex});
         }
     }
     return clean;
+}
+
+std::size_t
+DNucaCache::hotStateBytes() const
+{
+    return (tagPlane.size() + validBits.size() + dirtyBits.size()) *
+               sizeof(std::uint64_t) +
+           ranks.bytes() + bankFree.size() * sizeof(Cycle);
 }
 
 void

@@ -22,6 +22,7 @@
 
 #include "mem/lower_memory.hh"
 #include "mem/main_memory.hh"
+#include "mem/rank_plane.hh"
 #include "timing/latency_tables.hh"
 
 namespace nurapid {
@@ -77,6 +78,19 @@ class DNucaCache final : public LowerMemory
     /** Valid-block count per latency region. */
     void regionOccupancy(std::vector<std::uint64_t> &out) const override;
     bool audit(AuditSink &sink) const override;
+    std::size_t hotStateBytes() const override;
+
+    /** Hints the upcoming access's hot plane lines into cache: tag
+     *  row, valid bitmap word, rank word. Pure prefetch (hides the
+     *  virtual no-op of LowerMemory on devirtualized paths). */
+    void
+    prefetchHotLines(Addr addr) const
+    {
+        const std::uint32_t set = setOf(blockAlign(addr, p.block_bytes));
+        __builtin_prefetch(&tagPlane[rowBase(set)], 0, 3);
+        __builtin_prefetch(&validBits[set], 0, 3);
+        __builtin_prefetch(ranks.setWords(set), 1, 3);
+    }
 
     MainMemory &memory() { return mem; }
     const DNucaTiming &timing() const { return times; }
@@ -113,13 +127,13 @@ class DNucaCache final : public LowerMemory
     Addr partialMask;
 
     // Structure-of-arrays tag state: [set << strideShift | way] planes
-    // plus one bitmap word per set. The stamp plane shares the padded
-    // row indexing so every per-way lookup reuses one row offset.
+    // plus one bitmap word per set. Recency is a packed exact-LRU
+    // rank plane (mem/rank_plane.hh): one word per 16-way set instead
+    // of sixteen 64-bit stamps.
     std::vector<std::uint64_t> tagPlane;
     std::vector<std::uint64_t> validBits;  //!< [set]
     std::vector<std::uint64_t> dirtyBits;  //!< [set]
-    std::vector<std::uint64_t> stamps;     //!< LRU stamps, plane-indexed
-    std::uint64_t clock = 0;
+    RankPlane ranks;
     std::vector<Cycle> bankFree;  //!< [row * cols + col]
     MainMemory mem;
     EnergyNJ cacheEnergy = 0;

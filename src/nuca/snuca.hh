@@ -62,6 +62,25 @@ class SNucaCache final : public LowerMemory
     /** Static bank of an address (row-major index). */
     std::uint32_t bankOf(Addr block) const;
 
+    /** Stream-lookahead hint (name-hiding, see LowerMemory): pulls the
+     *  statically-addressed bank's set row into the host cache. */
+    void
+    prefetchHotLines(Addr addr) const
+    {
+        banks[bankOf(blockAlign(addr, p.block_bytes))]
+            .prefetchHotLines(addr);
+    }
+
+    /** Sum of the banks' plane footprints for gang cohort budgeting. */
+    std::size_t
+    hotStateBytes() const override
+    {
+        std::size_t n = bankFree.size() * sizeof(Cycle);
+        for (const SetAssocCache &b : banks)
+            n += b.hotBytes();
+        return n;
+    }
+
   private:
     Params p;
     DNucaTiming times;  //!< same grid timing as D-NUCA

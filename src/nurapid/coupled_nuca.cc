@@ -37,7 +37,7 @@ CoupledNucaCache::CoupledNucaCache(const SramMacroModel &model,
     waysMask = p.assoc == 64 ? ~std::uint64_t{0}
                              : (std::uint64_t{1} << p.assoc) - 1;
     tagPlane.assign(std::size_t{sets} << strideShift, 0);
-    stamps.assign(std::size_t{sets} << strideShift, 0);
+    ranks.init(sets, p.assoc);
     validBits.assign(sets, 0);
     dirtyBits.assign(sets, 0);
 
@@ -61,24 +61,28 @@ CoupledNucaCache::groupOfWay(std::uint32_t way) const
 void
 CoupledNucaCache::touch(std::uint32_t set, std::uint32_t way)
 {
-    stamps[rowBase(set) | way] = ++clock;
+    NURAPID_PROFILE_SCOPE(Recency);
+    ranks.touch(set, way);
 }
 
 std::uint32_t
 CoupledNucaCache::lruWayInGroup(std::uint32_t set,
                                 std::uint32_t group) const
 {
-    const std::size_t row = rowBase(set);
-    const std::uint64_t vb = validBits[set];
+    // Lowest invalid way of the group wins outright (the historical
+    // scan returned the first invalid way in index order).
     const std::uint32_t first = group * waysPerGroup;
-    std::uint32_t best = first;
-    for (std::uint32_t w = first; w < first + waysPerGroup; ++w) {
-        if (!((vb >> w) & 1))
-            return w;
-        if (stamps[row | w] < stamps[row | best])
-            best = w;
+    const std::uint64_t group_bits = waysPerGroup >= 64
+        ? ~std::uint64_t{0}
+        : (std::uint64_t{1} << waysPerGroup) - 1;
+    const std::uint64_t group_invalid =
+        (~validBits[set] >> first) & group_bits;
+    if (group_invalid) {
+        return first +
+            static_cast<std::uint32_t>(std::countr_zero(group_invalid));
     }
-    return best;
+    NURAPID_PROFILE_SCOPE(Recency);
+    return ranks.lruWayMasked(set, group_bits << first);
 }
 
 LowerMemory::Result
@@ -150,7 +154,7 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
             std::swap(tagPlane[row | hit_way], tagPlane[row | victim]);
             swapBits(validBits[set], hit_way, victim);
             swapBits(dirtyBits[set], hit_way, victim);
-            std::swap(stamps[row | hit_way], stamps[row | victim]);
+            ranks.swapWays(set, hit_way, victim);
             ++cnt.promotions;
             ++cnt.demotions;
             cnt.blockMoves += 2;
@@ -183,11 +187,8 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
             victim = static_cast<std::uint32_t>(
                 std::countr_zero(invalid));
         } else {
-            victim = 0;
-            for (std::uint32_t w = 1; w < p.assoc; ++w) {
-                if (stamps[row | w] < stamps[row | victim])
-                    victim = w;
-            }
+            NURAPID_PROFILE_SCOPE(Recency);
+            victim = ranks.lruWay(set);
         }
         if ((validBits[set] >> victim) & 1) {
             ++cnt.evictions;
@@ -228,7 +229,11 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
             dirtyBits[set] = (dirtyBits[set] &
                               ~(std::uint64_t{1} << hole)) |
                 (((dirtyBits[set] >> w) & 1) << hole);
-            stamps[row | hole] = stamps[row | w];
+            // The stamp plane copied w's stamp into the hole; a rank
+            // *swap* is decision-identical (w is invalidated on the
+            // next line and invalid ranks are never consulted) and
+            // keeps the ranks a permutation.
+            ranks.swapWays(set, hole, w);
             validBits[set] &= ~(std::uint64_t{1} << w);
             ++cnt.demotions;
             ++cnt.blockMoves;
@@ -326,20 +331,30 @@ CoupledNucaCache::audit(AuditSink &sink) const
                                     AuditViolation::kNoIndex});
                 }
             }
-            if (stamps[row | w] > clock) {
-                clean = false;
-                sink.violation({p.name, "stamp-beyond-clock",
-                                strprintf("stamp %llu > clock %llu",
-                                          static_cast<unsigned long long>(
-                                              stamps[row | w]),
-                                          static_cast<unsigned long long>(
-                                              clock)),
-                                s, w, groupOfWay(w),
-                                AuditViolation::kNoIndex});
-            }
+        }
+
+        // The rank plane must hold a permutation of 0..assoc-1 per
+        // set, or recency scans lose their tie-free guarantee.
+        if (!ranks.isPermutation(s)) {
+            clean = false;
+            sink.violation({p.name, "lru-rank",
+                            strprintf("set %u recency ranks are not a "
+                                      "permutation of %u ways", s,
+                                      p.assoc),
+                            s, AuditViolation::kNoIndex,
+                            AuditViolation::kNoIndex,
+                            AuditViolation::kNoIndex});
         }
     }
     return clean;
+}
+
+std::size_t
+CoupledNucaCache::hotStateBytes() const
+{
+    return (tagPlane.size() + validBits.size() + dirtyBits.size()) *
+               sizeof(std::uint64_t) +
+           ranks.bytes();
 }
 
 void

@@ -18,6 +18,7 @@
 
 #include "mem/lower_memory.hh"
 #include "mem/main_memory.hh"
+#include "mem/rank_plane.hh"
 #include "nurapid/policies.hh"
 #include "timing/latency_tables.hh"
 
@@ -54,6 +55,20 @@ class CoupledNucaCache final : public LowerMemory
     /** Valid-block count per latency region. */
     void regionOccupancy(std::vector<std::uint64_t> &out) const override;
     bool audit(AuditSink &sink) const override;
+    std::size_t hotStateBytes() const override;
+
+    /** Hints the upcoming access's hot plane lines into cache: tag
+     *  row, valid bitmap word, rank word. Pure prefetch (hides the
+     *  virtual no-op of LowerMemory on devirtualized paths). */
+    void
+    prefetchHotLines(Addr addr) const
+    {
+        const std::uint32_t set = static_cast<std::uint32_t>(
+            (blockAlign(addr, p.block_bytes) >> blockShift) & (sets - 1));
+        __builtin_prefetch(&tagPlane[rowBase(set)], 0, 3);
+        __builtin_prefetch(&validBits[set], 0, 3);
+        __builtin_prefetch(ranks.setWords(set), 1, 3);
+    }
 
     MainMemory &memory() { return mem; }
     const NuRapidTiming &timing() const { return times; }
@@ -82,13 +97,13 @@ class CoupledNucaCache final : public LowerMemory
     std::uint64_t waysMask = 0;   //!< low assoc bits set
 
     // Structure-of-arrays tag state: [set << strideShift | way] planes
-    // plus one valid/dirty bitmap word per set. The stamp plane shares
-    // the padded row indexing with the tag plane.
+    // plus one valid/dirty bitmap word per set. Recency is a packed
+    // exact-LRU rank plane (mem/rank_plane.hh): one word per 8-way
+    // set instead of eight 64-bit stamps.
     std::vector<std::uint64_t> tagPlane;
     std::vector<std::uint64_t> validBits;  //!< [set]
     std::vector<std::uint64_t> dirtyBits;  //!< [set]
-    std::vector<std::uint64_t> stamps;     //!< LRU stamps, plane-indexed
-    std::uint64_t clock = 0;
+    RankPlane ranks;
     MainMemory mem;
     Cycle portFree = 0;
     EnergyNJ cacheEnergy = 0;

@@ -11,7 +11,7 @@ namespace nurapid {
 DataArray::DataArray(std::uint32_t num_groups,
                      std::uint32_t frames_per_group,
                      std::uint32_t num_regions, DistanceRepl repl,
-                     std::uint64_t seed)
+                     std::uint64_t seed, std::uint32_t num_sets)
     : nGroups(num_groups), nFrames(frames_per_group), nRegions(num_regions),
       framesPerRegion(frames_per_group / num_regions), replPolicy(repl),
       rng(seed),
@@ -23,19 +23,24 @@ DataArray::DataArray(std::uint32_t num_groups,
              "frames per d-group (%u) not divisible into %u regions",
              frames_per_group, num_regions);
     const std::size_t total = std::size_t{nGroups} * nFrames;
-    revSet.assign(total, 0);
+    // max-1 bounds clamp to >= 1: NarrowPlane reads a 0 bound as
+    // "unknown" and would fall back to the full 4-byte width.
+    const auto bound = [](std::uint32_t count) {
+        return count > 1 ? count - 1 : 1;
+    };
+    revSet.init(total, num_sets == 0 ? 0 : bound(num_sets), 0);
     revWay.assign(total, 0);
     validWords.assign((total + 63) / 64, 0);
     linkedWords.assign((total + 63) / 64, 0);
-    prevPlane.assign(total, kNoFrame);
-    nextPlane.assign(total, kNoFrame);
-    frameRegion.resize(nFrames);
+    prevPlane.init(total, bound(nFrames), kNoFrame);
+    nextPlane.init(total, bound(nFrames), kNoFrame);
+    frameRegion.init(nFrames, bound(nRegions), 0);
     for (std::uint32_t f = 0; f < nFrames; ++f)
-        frameRegion[f] = f / framesPerRegion;
+        frameRegion.set(f, f / framesPerRegion);
     // Pre-populate free lists: every frame starts free.
     for (std::uint32_t g = 0; g < nGroups; ++g) {
         for (std::uint32_t f = 0; f < nFrames; ++f)
-            region(g, frameRegion[f]).free.push_back(f);
+            region(g, frameRegion.get(f)).free.push_back(f);
     }
     if (replPolicy == DistanceRepl::TreePLRU) {
         fatal_if(framesPerRegion < 2,
@@ -106,8 +111,8 @@ DataArray::place(std::uint32_t group, std::uint32_t f, std::uint32_t set,
     panic_if(validBit(group, f),
              "placing into occupied frame %u of d-group %u", f, group);
     const std::size_t idx = frameIdx(group, f);
-    revSet[idx] = set;
-    revWay[idx] = static_cast<std::uint16_t>(way);
+    revSet.set(idx, set);
+    revWay[idx] = static_cast<std::uint8_t>(way);
     validWords[idx >> 6] |= std::uint64_t{1} << (idx & 63);
     linkFront(group, f);
 }
@@ -133,7 +138,9 @@ DataArray::swapFrames(std::uint32_t group_a, std::uint32_t frame_a,
              "swapping with an invalid frame");
     const std::size_t ia = frameIdx(group_a, frame_a);
     const std::size_t ib = frameIdx(group_b, frame_b);
-    std::swap(revSet[ia], revSet[ib]);
+    const std::uint32_t sa = revSet.get(ia);
+    revSet.set(ia, revSet.get(ib));
+    revSet.set(ib, sa);
     std::swap(revWay[ia], revWay[ib]);
     touch(group_a, frame_a);
     touch(group_b, frame_b);
@@ -212,13 +219,13 @@ DataArray::audit(AuditSink &sink) const
                 if (!validBit(g, f))
                     report("chain-invalid-frame",
                            "invalid frame on the LRU chain", g, f);
-                if (prevPlane[base + f] != prev) {
+                if (prevPlane.get(base + f) != prev) {
                     report("chain-bad-prev",
                            strprintf("prev is %u, expected %u",
-                                     prevPlane[base + f], prev), g, f);
+                                     prevPlane.get(base + f), prev), g, f);
                 }
                 prev = f;
-                f = nextPlane[base + f];
+                f = nextPlane.get(base + f);
             }
             if (f == kNoFrame && rl.tail != prev) {
                 report("chain-bad-tail",

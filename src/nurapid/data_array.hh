@@ -9,11 +9,14 @@
  * Figure 2).
  *
  * Frame state is structure-of-arrays: parallel reverse-pointer planes
- * (32-bit set, 16-bit way), packed valid/linked bitmaps (one bit per
- * frame), and 32-bit LRU prev/next planes — replacing the per-Frame
- * and per-Node records so a touch or swap writes a few dense words.
- * Frames are read through a by-value Frame view (frame()); tests that
- * need to corrupt state write raw fields back with setFrame().
+ * (set indices and LRU prev/next pointers in mem/narrow_plane.hh
+ * planes sized to the geometry the constructor is told about —
+ * 2-byte elements for the paper's 16 Ki-frame d-groups — and byte
+ * ways), plus packed valid/linked bitmaps (one bit per frame) —
+ * replacing the per-Frame and per-Node records so a touch or swap
+ * writes a few dense words. Frames are read through a by-value Frame
+ * view (frame()); tests that need to corrupt state write raw fields
+ * back with setFrame().
  *
  * Section 2.4.3's pointer-restriction option is modeled by statically
  * partitioning each d-group's frames into *regions*; a block may only
@@ -33,9 +36,11 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "mem/narrow_plane.hh"
 #include "mem/replacement.hh"
 #include "nurapid/policies.hh"
 #include "sim/audit/audit.hh"
+#include "sim/profile/profile.hh"
 
 namespace nurapid {
 
@@ -51,10 +56,14 @@ class DataArray
     };
 
     static constexpr std::uint32_t kNoFrame = 0xffffffff;
+    static_assert(kNoFrame == NarrowPlane::kNone,
+                  "narrow pointer planes reuse the kNoFrame sentinel");
 
+    /** @p num_sets bounds the reverse set pointers (0 = unknown,
+     *  keeps the full 4-byte reverse-set plane). */
     DataArray(std::uint32_t num_groups, std::uint32_t frames_per_group,
               std::uint32_t num_regions, DistanceRepl repl,
-              std::uint64_t seed);
+              std::uint64_t seed, std::uint32_t num_sets = 0);
 
     /** Region a block address maps to (hash of its block index). */
     std::uint32_t regionOf(Addr block_index) const;
@@ -95,6 +104,7 @@ class DataArray
     void
     touch(std::uint32_t group, std::uint32_t f)
     {
+        NURAPID_PROFILE_SCOPE(Recency);
         panic_if(!validBit(group, f), "touching invalid frame");
         unlink(group, f);
         linkFront(group, f);
@@ -110,7 +120,7 @@ class DataArray
                  "frame (%u, %u) out of range", group, f);
         const std::size_t idx = frameIdx(group, f);
         Frame fr;
-        fr.set = revSet[idx];
+        fr.set = revSet.get(idx);
         fr.way = revWay[idx];
         fr.valid = validBit(group, f);
         return fr;
@@ -128,8 +138,8 @@ class DataArray
         panic_if(group >= nGroups || f >= nFrames,
                  "frame (%u, %u) out of range", group, f);
         const std::size_t idx = frameIdx(group, f);
-        revSet[idx] = fr.set;
-        revWay[idx] = fr.way;
+        revSet.set(idx, fr.set);
+        revWay[idx] = static_cast<std::uint8_t>(fr.way);
         const std::uint64_t bit = std::uint64_t{1} << (idx & 63);
         if (fr.valid)
             validWords[idx >> 6] |= bit;
@@ -141,7 +151,7 @@ class DataArray
     std::uint32_t
     revSetOf(std::uint32_t group, std::uint32_t f) const
     {
-        return revSet[frameIdx(group, f)];
+        return revSet.get(frameIdx(group, f));
     }
 
     std::uint16_t
@@ -158,7 +168,18 @@ class DataArray
      *  often for a divide by framesPerRegion here). */
     std::uint32_t regionOfFrame(std::uint32_t f) const
     {
-        return frameRegion[f];
+        return frameRegion.get(f);
+    }
+
+    /** Bytes of per-reference hot state (pointer planes + bitmaps). */
+    std::size_t
+    hotBytes() const
+    {
+        return revSet.bytes() + revWay.size() +
+               (validWords.size() + linkedWords.size()) *
+                   sizeof(std::uint64_t) +
+               prevPlane.bytes() + nextPlane.bytes() +
+               frameRegion.bytes();
     }
 
     /** Valid-frame count (for invariant checks in tests). */
@@ -215,19 +236,19 @@ class DataArray
         if (!linkedBit(group, f))
             return;
         const std::size_t base = std::size_t{group} * nFrames;
-        const std::uint32_t prev = prevPlane[base + f];
-        const std::uint32_t next = nextPlane[base + f];
+        const std::uint32_t prev = prevPlane.get(base + f);
+        const std::uint32_t next = nextPlane.get(base + f);
         RegionList &r = region(group, regionOfFrame(f));
         if (prev != kNoFrame)
-            nextPlane[base + prev] = next;
+            nextPlane.set(base + prev, next);
         else
             r.head = next;
         if (next != kNoFrame)
-            prevPlane[base + next] = prev;
+            prevPlane.set(base + next, prev);
         else
             r.tail = prev;
-        prevPlane[base + f] = kNoFrame;
-        nextPlane[base + f] = kNoFrame;
+        prevPlane.set(base + f, kNoFrame);
+        nextPlane.set(base + f, kNoFrame);
         const std::size_t idx = base + f;
         linkedWords[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
     }
@@ -238,10 +259,10 @@ class DataArray
         panic_if(linkedBit(group, f), "frame %u already linked", f);
         const std::size_t base = std::size_t{group} * nFrames;
         RegionList &r = region(group, regionOfFrame(f));
-        prevPlane[base + f] = kNoFrame;
-        nextPlane[base + f] = r.head;
+        prevPlane.set(base + f, kNoFrame);
+        nextPlane.set(base + f, r.head);
         if (r.head != kNoFrame)
-            prevPlane[base + r.head] = f;
+            prevPlane.set(base + r.head, f);
         r.head = f;
         if (r.tail == kNoFrame)
             r.tail = f;
@@ -257,15 +278,17 @@ class DataArray
     Rng rng;
 
     // Structure-of-arrays frame planes, indexed [group * nFrames + f];
-    // valid/linked are packed one bit per frame.
-    std::vector<std::uint32_t> revSet;       //!< reverse ptr: tag set
-    std::vector<std::uint16_t> revWay;       //!< reverse ptr: tag way
+    // valid/linked are packed one bit per frame, pointer planes are
+    // narrowed to the geometry's minimal width (ways fit a byte: the
+    // tag array caps associativity at 64).
+    NarrowPlane revSet;                      //!< reverse ptr: tag set
+    std::vector<std::uint8_t> revWay;        //!< reverse ptr: tag way
     std::vector<std::uint64_t> validWords;   //!< [idx / 64]
     std::vector<std::uint64_t> linkedWords;  //!< [idx / 64]
-    std::vector<std::uint32_t> prevPlane;    //!< LRU chain prev
-    std::vector<std::uint32_t> nextPlane;    //!< LRU chain next
+    NarrowPlane prevPlane;                   //!< LRU chain prev
+    NarrowPlane nextPlane;                   //!< LRU chain next
 
-    std::vector<std::uint32_t> frameRegion;  //!< frame -> region index
+    NarrowPlane frameRegion;                 //!< frame -> region index
     std::vector<RegionList> lists;  //!< [group * nRegions + region]
     /** Per-group tree-PLRU state (regions as sets, frames as ways);
      *  only allocated under DistanceRepl::TreePLRU. */

@@ -95,6 +95,21 @@ class NuRapidCache final : public LowerMemory
     const TagArray &tags() const { return tagArray; }
     const DataArray &data() const { return dataArray; }
 
+    /** Stream-lookahead hint (name-hiding, see LowerMemory): every
+     *  access starts at the centralized tag array. */
+    void
+    prefetchHotLines(Addr addr) const
+    {
+        tagArray.prefetchHotLines(addr);
+    }
+
+    /** Tag + data plane footprint for gang cohort budgeting. */
+    std::size_t
+    hotStateBytes() const override
+    {
+        return tagArray.hotBytes() + dataArray.hotBytes();
+    }
+
     /** Mutable views for fault-injection tests: corrupt a pointer, then
      *  assert audit() pinpoints it. Never used by the simulator. */
     TagArray &tagsForTesting() { return tagArray; }

@@ -6,7 +6,7 @@
 namespace nurapid {
 
 TagArray::TagArray(std::uint64_t capacity_bytes, std::uint32_t assoc,
-                   std::uint32_t block_bytes)
+                   std::uint32_t block_bytes, std::uint32_t max_frame)
     : sets(static_cast<std::uint32_t>(
           capacity_bytes / (std::uint64_t{assoc} * block_bytes))),
       ways(assoc), blockSize(block_bytes)
@@ -32,24 +32,12 @@ TagArray::TagArray(std::uint64_t capacity_bytes, std::uint32_t assoc,
     validBits.assign(sets, 0);
     dirtyBits.assign(sets, 0);
     groupPlane.assign(plane, 0);
-    framePlane.assign(plane, 0);
+    framePlane.init(plane, max_frame, 0);
 
-    // Initial chain order (way index order) is arbitrary: the tail is
-    // only consulted once every way is valid, and valid ways have all
-    // been touched.
-    chainPrev.assign(plane, 0);
-    chainNext.assign(plane, 0);
-    head.assign(sets, 0);
-    tail.assign(sets, static_cast<std::uint8_t>(ways - 1));
-    for (std::uint32_t s = 0; s < sets; ++s) {
-        const std::size_t base = rowOf(s);
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            chainPrev[base + w] =
-                static_cast<std::uint8_t>(w == 0 ? 0 : w - 1);
-            chainNext[base + w] =
-                static_cast<std::uint8_t>(w + 1 == ways ? w : w + 1);
-        }
-    }
+    // Initial rank order (way index order) is arbitrary: the LRU way
+    // is only consulted once every way is valid, and valid ways have
+    // all been touched.
+    ranks.init(sets, ways);
 }
 
 TagArray::Entry
@@ -63,7 +51,7 @@ TagArray::entry(std::uint32_t set, std::uint32_t way) const
     e.valid = isValid(set, way);
     e.dirty = isDirty(set, way);
     e.group = groupPlane[idx];
-    e.frame = framePlane[idx];
+    e.frame = framePlane.get(idx);
     return e;
 }
 
@@ -84,7 +72,7 @@ TagArray::setEntry(std::uint32_t set, std::uint32_t way, const Entry &e)
     else
         dirtyBits[set] &= ~bit;
     groupPlane[idx] = e.group;
-    framePlane[idx] = e.frame;
+    framePlane.set(idx, e.frame);
 }
 
 Addr
@@ -129,28 +117,13 @@ TagArray::audit(AuditSink &sink) const
             }
         }
 
-        // The recency chain must visit every way exactly once from
-        // head to tail; a cycle or dropped way corrupts LRU victims.
-        std::uint64_t seen = 0;
-        std::uint32_t w = head[s];
-        std::uint32_t visited = 0;
-        bool broken = false;
-        while (visited < ways) {
-            if (w >= ways || ((seen >> w) & 1)) {
-                broken = true;
-                break;
-            }
-            seen |= std::uint64_t{1} << w;
-            ++visited;
-            if (w == tail[s])
-                break;
-            w = chainNext[base + w];
-        }
-        if (broken || visited != ways) {
+        // The rank plane must hold a permutation of 0..ways-1 per
+        // set; a duplicated or out-of-range rank corrupts LRU victims.
+        if (!ranks.isPermutation(s)) {
             clean = false;
-            sink.violation({"tag-array", "lru-chain",
-                            strprintf("set %u recency chain visits %u "
-                                      "of %u ways", s, visited, ways),
+            sink.violation({"tag-array", "lru-rank",
+                            strprintf("set %u recency ranks are not a "
+                                      "permutation of %u ways", s, ways),
                             s, AuditViolation::kNoIndex,
                             AuditViolation::kNoIndex,
                             AuditViolation::kNoIndex});

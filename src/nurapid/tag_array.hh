@@ -9,19 +9,21 @@
  *
  * State is structure-of-arrays: a contiguous std::uint64_t tag plane
  * (rows padded to a power-of-two stride), per-set valid/dirty bitmap
- * words, and parallel forward-pointer planes (byte-wide d-group,
- * 32-bit frame). The probe is the vectorized kernel of
- * mem/tag_probe.hh over one dense row. Associativity is capped at 64
- * so one bitmap word covers a set. Entries are read and written
- * through by-value Entry views (entry()/setEntry()) so the audit hooks
- * and tests keep checking the same facts against the packed planes.
+ * words, and parallel forward-pointer planes (byte-wide d-group, and
+ * a frame plane narrowed to the width the geometry needs —
+ * mem/narrow_plane.hh — when the caller supplies the frame bound).
+ * The probe is the vectorized kernel of mem/tag_probe.hh over one
+ * dense row. Associativity is capped at 64 so one bitmap word covers
+ * a set. Entries are read and written through by-value Entry views
+ * (entry()/setEntry()) so the audit hooks and tests keep checking the
+ * same facts against the packed planes.
  *
- * Set recency is tracked with an intrusive per-set chain (MRU head,
- * LRU tail), matching DataArray's group chains: touch() is a constant-
- * time unlink/relink instead of a stamp write, and victimWay() reads
- * the tail instead of scanning stamps. Equivalent to stamp LRU because
- * the tail is only consulted when every way is valid and touch order
- * is a strict total order.
+ * Set recency is a packed exact-LRU rank plane (mem/rank_plane.hh):
+ * per set, a permutation of way ranks in 4- or 8-bit fields. touch()
+ * is one or a few word-sized SWAR updates instead of a chain
+ * unlink/relink, and victimWay() scans ranks. Equivalent to chain or
+ * stamp LRU because ranks are always distinct — no ties for an
+ * encoding to break differently.
  */
 
 #ifndef NURAPID_NURAPID_TAG_ARRAY_HH
@@ -32,8 +34,11 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "mem/narrow_plane.hh"
+#include "mem/rank_plane.hh"
 #include "mem/tag_probe.hh"
 #include "sim/audit/audit.hh"
+#include "sim/profile/profile.hh"
 
 namespace nurapid {
 
@@ -57,8 +62,10 @@ class TagArray
         std::uint32_t way = 0;
     };
 
+    /** @p max_frame is the largest frame index a forward pointer can
+     *  hold (0 = unknown, keeps the full 4-byte frame plane). */
     TagArray(std::uint64_t capacity_bytes, std::uint32_t assoc,
-             std::uint32_t block_bytes);
+             std::uint32_t block_bytes, std::uint32_t max_frame = 0);
 
     /** Probes the array; also fills set/way of the addressed set. */
     Lookup
@@ -106,7 +113,7 @@ class TagArray
     std::uint32_t
     frameOf(std::uint32_t set, std::uint32_t way) const
     {
-        return framePlane[rowOf(set) + way];
+        return framePlane.get(rowOf(set) + way);
     }
 
     void
@@ -125,7 +132,7 @@ class TagArray
                std::uint8_t group, std::uint32_t frame)
     {
         groupPlane[rowOf(set) + way] = group;
-        framePlane[rowOf(set) + way] = frame;
+        framePlane.set(rowOf(set) + way, frame);
     }
 
     /** Fills (set, way): tag + forward pointer, valid, dirty as given. */
@@ -142,7 +149,7 @@ class TagArray
         else
             dirtyBits[set] &= ~bit;
         groupPlane[row + way] = group;
-        framePlane[row + way] = frame;
+        framePlane.set(row + way, frame);
     }
 
     /** Clears valid and dirty of (set, way); tag/pointer go stale. */
@@ -158,19 +165,8 @@ class TagArray
     void
     touch(std::uint32_t set, std::uint32_t way)
     {
-        if (head[set] == way)
-            return;
-        const std::size_t base = rowOf(set);
-        const std::uint8_t prev = chainPrev[base + way];
-        const std::uint8_t next = chainNext[base + way];
-        chainNext[base + prev] = next;
-        if (tail[set] == way)
-            tail[set] = prev;
-        else
-            chainPrev[base + next] = prev;
-        chainNext[base + way] = head[set];
-        chainPrev[base + head[set]] = static_cast<std::uint8_t>(way);
-        head[set] = static_cast<std::uint8_t>(way);
+        NURAPID_PROFILE_SCOPE(Recency);
+        ranks.touch(set, way);
     }
 
     /** An invalid way of @p set if one exists, else the set-LRU way. */
@@ -180,7 +176,8 @@ class TagArray
         const std::uint64_t invalid = ~validBits[set] & waysMask;
         if (invalid)
             return static_cast<std::uint32_t>(std::countr_zero(invalid));
-        return tail[set];
+        NURAPID_PROFILE_SCOPE(Recency);
+        return ranks.lruWay(set);
     }
 
     /** Reconstructs the block address stored at (set, way). */
@@ -212,6 +209,26 @@ class TagArray
      */
     bool audit(AuditSink &sink) const;
 
+    /** Hints the upcoming access's hot plane lines into cache: tag
+     *  row, valid bitmap word, rank word. Pure prefetch. */
+    void
+    prefetchHotLines(Addr addr) const
+    {
+        const std::uint32_t set = setOf(addr);
+        __builtin_prefetch(&tagPlane[rowOf(set)], 0, 3);
+        __builtin_prefetch(&validBits[set], 0, 3);
+        __builtin_prefetch(ranks.setWords(set), 1, 3);
+    }
+
+    /** Bytes of per-reference hot state (planes + bitmaps). */
+    std::size_t
+    hotBytes() const
+    {
+        return (tagPlane.size() + validBits.size() + dirtyBits.size()) *
+                   sizeof(std::uint64_t) +
+               groupPlane.size() + framePlane.bytes() + ranks.bytes();
+    }
+
   private:
     /** First word of @p set's row in the way-indexed planes. */
     std::size_t
@@ -235,13 +252,10 @@ class TagArray
     std::vector<std::uint64_t> validBits;   //!< [set]
     std::vector<std::uint64_t> dirtyBits;   //!< [set]
     std::vector<std::uint8_t> groupPlane;   //!< forward ptr: d-group
-    std::vector<std::uint32_t> framePlane;  //!< forward ptr: frame
+    NarrowPlane framePlane;                 //!< forward ptr: frame
 
-    // Intrusive recency chain (way indices within one set).
-    std::vector<std::uint8_t> chainPrev;  //!< [set << strideShift | way]
-    std::vector<std::uint8_t> chainNext;  //!< [set << strideShift | way]
-    std::vector<std::uint8_t> head;       //!< MRU way per set
-    std::vector<std::uint8_t> tail;       //!< LRU way per set
+    // Packed exact-LRU recency ranks (mem/rank_plane.hh).
+    RankPlane ranks;
 };
 
 } // namespace nurapid

@@ -64,6 +64,51 @@ gangBlockEvents()
     return kDefault;
 }
 
+/**
+ * Cohort scheduling policy. The block-size rationale above has a flip
+ * side: blocks only amortize the table re-warm if the cohort's
+ * combined hot state fits the host LLC at all. A wide gang of large
+ * organizations (five 8 MB tag/data/rank plane sets = tens of MB)
+ * thrashes no matter the block size. So the replayer tiles the group
+ * into *cohorts* whose summed hotStateBytes() fit a budget, and runs
+ * one full warmup+measure traversal per cohort — re-reading the shared
+ * stream once more per extra cohort, which is far cheaper than
+ * cross-lane plane evictions. NURAPID_GANG_SCHED=naive restores the
+ * single all-lanes traversal; neither knob is part of the run-cache
+ * fingerprint because cohorts replay the identical per-lane
+ * instruction sequence (bit-identity is asserted by
+ * tests/test_rank_planes.cc and the check.sh dump-identity bracket).
+ */
+static bool
+gangFootprintSched()
+{
+    if (const char *s = std::getenv("NURAPID_GANG_SCHED")) {
+        const std::string_view v(s);
+        if (v == "naive")
+            return false;
+        if (!v.empty() && v != "footprint")
+            warnOnce("ignoring invalid NURAPID_GANG_SCHED '%s'", s);
+    }
+    return true;
+}
+
+/** Host-LLC byte budget one cohort's hot state may occupy. The
+ *  default approximates a desktop/server LLC; tests pin tiny budgets
+ *  to force per-lane cohorts. */
+static std::size_t
+gangLlcBudgetBytes()
+{
+    constexpr std::size_t kDefault = 24ull << 20;
+    if (const char *s = std::getenv("NURAPID_GANG_LLC_BYTES")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(s, &end, 10);
+        if (end && *end == '\0' && *s != '\0' && v > 0)
+            return static_cast<std::size_t>(v);
+        warnOnce("ignoring invalid NURAPID_GANG_LLC_BYTES '%s'", s);
+    }
+    return kDefault;
+}
+
 void
 GangReplayer::replayRecords(const std::vector<Lane> &lanes,
                             DistilledTrace::Cursor &cur,
@@ -153,31 +198,57 @@ GangReplayer::runAll(const std::vector<System *> &group)
     }
 
     const auto start = std::chrono::steady_clock::now();
-    std::vector<Lane> lanes;
-    lanes.reserve(group.size());
-    for (System *sys : group) {
-        lanes.push_back(Lane{sys->coreModel.get(), sys->lowerMem.get(),
-                             sys->spec.kind});
+
+    // Tile the group into cohorts whose combined hot state fits the
+    // host-LLC budget (greedy, in group order; an oversized lane rides
+    // alone). Naive scheduling is the single all-lanes cohort.
+    std::vector<std::vector<System *>> cohorts;
+    if (!gangFootprintSched()) {
+        cohorts.push_back(group);
+    } else {
+        const std::size_t budget = gangLlcBudgetBytes();
+        std::size_t bytes = 0;
+        for (System *sys : group) {
+            const std::size_t b = sys->lowerMem->hotStateBytes();
+            if (cohorts.empty() ||
+                (!cohorts.back().empty() && bytes + b > budget)) {
+                cohorts.emplace_back();
+                bytes = 0;
+            }
+            cohorts.back().push_back(sys);
+            bytes += b;
+        }
     }
 
     // The same phase sequence runAll() drives, with each replay
-    // folded into one traversal. All cursors are equal (every system
-    // is fresh on the same stream), so one shared cursor stands in.
-    DistilledTrace::Cursor cur = group.front()->dcur;
+    // folded into one traversal per cohort. All starting cursors are
+    // equal (every system is fresh on the same stream), so each cohort
+    // re-traverses from the group's shared start and lands on the same
+    // end cursor.
     const SimLength &len = group.front()->length;
-    if (len.warmup_records > 0) {
-        NURAPID_PROFILE_SCOPE(Core);
-        replayRecords(lanes, cur, len.warmup_records);
-    }
-    for (System *sys : group) {
-        sys->coreModel->resetStats();
-        sys->lowerMem->resetStats();
-    }
-    for (System *sys : group)
-        sys->attachObserversForMeasure();
-    if (len.measure_records > 0) {
-        NURAPID_PROFILE_SCOPE(Core);
-        replayRecords(lanes, cur, len.measure_records);
+    DistilledTrace::Cursor cur = group.front()->dcur;
+    for (const std::vector<System *> &cohort : cohorts) {
+        std::vector<Lane> lanes;
+        lanes.reserve(cohort.size());
+        for (System *sys : cohort) {
+            lanes.push_back(Lane{sys->coreModel.get(),
+                                 sys->lowerMem.get(), sys->spec.kind});
+        }
+        cur = group.front()->dcur;
+        if (len.warmup_records > 0) {
+            NURAPID_PROFILE_SCOPE(Core);
+            replayRecords(lanes, cur, len.warmup_records);
+        }
+        for (System *sys : cohort) {
+            sys->coreModel->resetStats();
+            sys->lowerMem->resetStats();
+        }
+        for (System *sys : cohort)
+            sys->attachObserversForMeasure();
+        if (len.measure_records > 0) {
+            NURAPID_PROFILE_SCOPE(Core);
+            replayRecords(lanes, cur, len.measure_records);
+        }
     }
 
     const double wall = std::chrono::duration<double>(

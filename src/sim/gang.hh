@@ -20,6 +20,13 @@
  * per-event granularity) — more than the shared stream bytes save.
  * See gang.cc for the block-size rationale and NURAPID_GANG_BLOCK.
  *
+ * For the same reason runAll() tiles wide gangs into *cohorts* whose
+ * combined hotStateBytes() fit a host-LLC budget, re-traversing the
+ * shared stream once per cohort (NURAPID_GANG_SCHED=footprint|naive,
+ * NURAPID_GANG_LLC_BYTES; see gang.cc). Cohorts replay the identical
+ * per-lane instruction sequence, so results stay bit-identical and
+ * neither knob enters the run-cache fingerprint.
+ *
  * tests/test_gang_replay.cc asserts identity of RunMetrics and obs
  * event streams; the gang fuzz target (testing/gang_differ.hh)
  * diffs eviction identity and dirty bits on fuzzed streams.

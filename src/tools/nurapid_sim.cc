@@ -104,6 +104,13 @@ usage(const char *argv0)
         "  NURAPID_GANG_WIDTH      max organizations per gang\n"
         "                          (0/unset = unlimited)\n"
         "  NURAPID_GANG_BLOCK      events per gang interleave block\n"
+        "  NURAPID_GANG_SCHED      footprint (default) tiles lanes into\n"
+        "                          LLC-sized cohorts; naive = one cohort\n"
+        "  NURAPID_GANG_LLC_BYTES  host-LLC budget per cohort\n"
+        "                          (default 24 MiB)\n"
+        "  NURAPID_PREFETCH        0 disables stream-lookahead prefetch\n"
+        "  NURAPID_PREFETCH_DIST   prefetch lookahead in events\n"
+        "                          (default 8, clamped to 1..256)\n"
         "  NURAPID_SIM_SCALE       global simulation-length multiplier\n"
         "  NURAPID_AUDIT           1 enables the invariant-audit layer\n"
         "  NURAPID_AUDIT_INTERVAL  accesses between audit sweeps\n"

@@ -19,6 +19,7 @@
 #include "sim/runner/run_cache.hh"
 #include "sim/runner/run_engine.hh"
 #include "sim/system.hh"
+#include "trace/distilled_trace.hh"
 #include "trace/profiles.hh"
 
 namespace nurapid {
@@ -119,6 +120,9 @@ checkIdentity(const std::vector<OrgSpec> &orgs,
 
 TEST(GangReplay, MatchesSequentialRunsAcrossWidthsProfilesAndLengths)
 {
+    if (!distillEnabled())
+        GTEST_SKIP() << "gang replay needs the distilled fast path "
+                        "(NURAPID_DISTILL=0)";
     const SimLength lengths[] = {{20'000, 60'000}, {0, 40'000}};
     const char *profiles[] = {"mcf", "art", "swim"};
     for (const std::size_t width : {2u, 3u, 5u}) {
@@ -131,6 +135,9 @@ TEST(GangReplay, MatchesSequentialRunsAcrossWidthsProfilesAndLengths)
 
 TEST(GangReplay, TinyBlocksExerciseTheMultiBlockPathIdentically)
 {
+    if (!distillEnabled())
+        GTEST_SKIP() << "gang replay needs the distilled fast path "
+                        "(NURAPID_DISTILL=0)";
     // A 64-event block slices these runs into dozens of segments; the
     // lanes must still retire the identical stream.
     setenv("NURAPID_GANG_BLOCK", "64", 1);
@@ -141,6 +148,9 @@ TEST(GangReplay, TinyBlocksExerciseTheMultiBlockPathIdentically)
 
 TEST(GangReplay, ObservabilityEventStreamsMatchPerEvent)
 {
+    if (!distillEnabled())
+        GTEST_SKIP() << "gang replay needs the distilled fast path "
+                        "(NURAPID_DISTILL=0)";
     const SimLength length{20'000, 60'000};
     const auto &profile = findProfile("swim");
     const auto orgs = firstOrgs(3);
