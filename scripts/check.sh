@@ -9,8 +9,12 @@
 #   tsan     ThreadSanitizer (checks the parallel run engine)
 #   profile  RelWithDebInfo + -DNURAPID_PROFILE=ON (cycle-budget
 #            profiler compiled into the hot paths), plus a perf-smoke
-#            stage: a short cold sweep that must print the profiler
-#            footer and finish with a populated run cache
+#            stage: a short cold sweep (engine-span tracing attached,
+#            footer coverage asserted) that must print the profiler
+#            footer, finish with a populated 267-entry run cache
+#            bit-identical between the distilled and live replays,
+#            and stay within 25% of this host's recorded wall-time
+#            baselines (per-bench and whole-sweep)
 #
 # Usage:
 #   scripts/check.sh [--fuzz-iters N] [--configs "release asan tsan profile"]
@@ -130,6 +134,15 @@ for config in $configs; do
         grep -q 'hit distribution' "$obs_dir/report.log" || {
             echo "obs smoke: report printed no distribution table" >&2
             exit 1; }
+        # Energy attribution rides the same timeline: every epoch
+        # carries an energy object and the report renders the
+        # Figure-10-style component table from it.
+        grep -q '"energy"' "$obs_dir/metrics.jsonl" || {
+            echo "obs smoke: metrics timeline has no energy samples" >&2
+            exit 1; }
+        grep -q 'energy breakdown' "$obs_dir/report.log" || {
+            echo "obs smoke: report printed no energy breakdown" >&2
+            exit 1; }
 
         # Observability must not perturb the simulation and observed
         # runs must never seed the run cache: a fresh-cache suite, an
@@ -166,12 +179,32 @@ for config in $configs; do
         gang_dir="$dir/gang_bracket"
         rm -rf "$gang_dir"
         mkdir -p "$gang_dir"
+        # The gang-on leg doubles as the engine-trace smoke: spans are
+        # host-side only, so tracing one leg cannot perturb the
+        # identity comparison below.
+        rm -f "$gang_dir/engine_trace.json"
         NURAPID_SIM_SCALE=0.02 NURAPID_RUN_CACHE="$gang_dir/on.json" \
             "$dir/src/tools/nurapid_sim" --org all --suite --gang on \
-            > /dev/null
+            --engine-trace-out "$gang_dir/engine_trace.json" \
+            > /dev/null 2> "$gang_dir/engine.log"
         NURAPID_SIM_SCALE=0.02 NURAPID_RUN_CACHE="$gang_dir/off.json" \
             "$dir/src/tools/nurapid_sim" --org all --suite --gang off \
             > /dev/null
+        [ -s "$gang_dir/engine_trace.json" ] || {
+            echo "engine trace: no trace written" >&2; exit 1; }
+        grep -q '"ph":"X"' "$gang_dir/engine_trace.json" || {
+            echo "engine trace: no spans in trace" >&2; exit 1; }
+        # The [engine] footer must account for >= 95% of the process
+        # wall time: the top-level run-unit spans cover everything the
+        # workers do, leaving only a few fixed ms of startup/teardown
+        # outside any span.
+        awk '/^\[engine\] wall/ { gsub(/,/, ""); w += $3; c += $7 }
+             END { pct = w > 0 ? 100 * c / w : 0;
+                   printf "engine trace: %.1f%% of wall covered\n", pct;
+                   exit !(pct >= 95) }' "$gang_dir/engine.log" || {
+            echo "engine trace: span coverage below 95%" \
+                 "(see $gang_dir/engine.log)" >&2
+            exit 1; }
         "$dir/src/tools/nurapid_sim" --dump-cache "$gang_dir/on.json" \
             > "$gang_dir/on.dump"
         "$dir/src/tools/nurapid_sim" --dump-cache "$gang_dir/off.json" \
@@ -218,15 +251,33 @@ for config in $configs; do
         # profiles) the distillation itself, not just an mmap load.
         rm -f "$dir/trace_cache"/*.dtc
         smoke_log="$dir/perf_smoke.log"
+        sweep_trace="$dir/engine_sweep_trace.json"
         (export NURAPID_SIM_SCALE=0.05 NURAPID_RUN_CACHE="$smoke_cache" &&
             run_logged "$smoke_log" 2 \
-                sh scripts/regen_bench.sh "$dir" --quiet --repeat 1)
+                sh scripts/regen_bench.sh "$dir" --quiet --repeat 1 \
+                    --engine-trace-out "$sweep_trace")
         grep -q '^\[profile\]' "$smoke_log" || {
             echo "perf smoke: no [profile] footer in sweep output" >&2
             exit 1
         }
         [ -s "$smoke_cache" ] || {
             echo "perf smoke: sweep left no run cache" >&2
+            exit 1
+        }
+        # All 17 bench binaries appended into one whole-sweep trace,
+        # and their [engine] footers together must attribute >= 95%
+        # of the sweep's summed process wall time to engine stages.
+        [ -s "$sweep_trace" ] || {
+            echo "perf smoke: sweep wrote no engine trace" >&2
+            exit 1
+        }
+        awk '/^\[engine\] wall/ { gsub(/,/, ""); n++; w += $3; c += $7 }
+             END { pct = w > 0 ? 100 * c / w : 0;
+                   printf "perf smoke: engine spans cover %.1f%%" \
+                          " of sweep wall (%d footers)\n", pct, n;
+                   exit !(n >= 17 && pct >= 95) }' "$smoke_log" || {
+            echo "perf smoke: engine footer coverage below 95% of the" \
+                 "sweep wall (see $smoke_log)" >&2
             exit 1
         }
 
@@ -286,6 +337,29 @@ for config in $configs; do
             exit 1
         }
 
+        # Sweep dump-cache identity: the distilled and live sweeps
+        # above simulated the same 267 configurations; their caches
+        # must be bit-identical modulo wall_seconds (--dump-cache
+        # zeroes it), or a replay path diverged somewhere the unit
+        # suite did not reach.
+        echo "=== [$config] sweep dump-cache identity (267 configs) ==="
+        "$dir/src/tools/nurapid_sim" --dump-cache "$smoke_cache" \
+            > "$dir/sweep_on.dump"
+        "$dir/src/tools/nurapid_sim" --dump-cache "$off_cache" \
+            > "$dir/sweep_off.dump"
+        cmp -s "$dir/sweep_on.dump" "$dir/sweep_off.dump" || {
+            echo "sweep identity: distilled and live sweeps left" \
+                 "different caches (diff $dir/sweep_on.dump" \
+                 "$dir/sweep_off.dump)" >&2
+            exit 1
+        }
+        sweep_entries=$(grep -o '"key"' "$smoke_cache" | wc -l)
+        [ "$sweep_entries" -eq 267 ] || {
+            echo "sweep identity: expected 267 unique configurations," \
+                 "cache holds $sweep_entries" >&2
+            exit 1
+        }
+
         # Wall-time ratchet on representative sim-driven benches: more
         # than 25% over this host's recorded baseline fails the gate.
         # The baseline files are per-host so numbers from different
@@ -329,6 +403,34 @@ for config in $configs; do
                 fi
             fi
         done
+
+        # Same ratchet on the whole cold sweep (the first perf smoke
+        # above ran cold with engine tracing attached), so the
+        # observability layer itself can never quietly tax the sweep.
+        echo "=== [$config] perf guard (cold sweep wall) ==="
+        sweep_ms=$(grep '"total_wall_ms"' "$dir/BENCH_sweep.json" |
+            grep -o '[0-9][0-9]*')
+        sweep_guard="$guard_dir/sweep_cold.$(uname -n).ms"
+        if [ ! -s "$sweep_guard" ]; then
+            echo "$sweep_ms" > "$sweep_guard"
+            echo "perf guard: recorded cold-sweep baseline ${sweep_ms}ms" \
+                 "in $sweep_guard"
+        else
+            sweep_base=$(cat "$sweep_guard")
+            echo "perf guard: cold sweep ${sweep_ms}ms vs baseline" \
+                 "${sweep_base}ms"
+            awk -v s="$sweep_ms" -v b="$sweep_base" \
+                'BEGIN { exit !(s <= b * 1.25) }' || {
+                echo "perf guard: cold sweep took ${sweep_ms}ms, more" \
+                     "than 25% over the ${sweep_base}ms baseline in" \
+                     "$sweep_guard" >&2
+                exit 1
+            }
+            if awk -v s="$sweep_ms" -v b="$sweep_base" \
+                'BEGIN { exit !(s < b) }'; then
+                echo "$sweep_ms" > "$sweep_guard"
+            fi
+        fi
     fi
 done
 

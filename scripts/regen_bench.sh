@@ -7,6 +7,14 @@
 # Usage:
 #   scripts/regen_bench.sh [BUILD_DIR] [--jobs N] [--repeat N]
 #                          [--no-cache] [--quiet]
+#                          [--engine-trace-out FILE]
+#
+# --engine-trace-out FILE records host-time engine spans (trace
+# pregen, distill decode, gang replay, run-cache probe/store,
+# per-config simulate) from every bench binary into ONE Chrome trace
+# at FILE — the format is append-friendly, so all 17 processes share
+# the whole-sweep file; load it in ui.perfetto.dev. Each binary also
+# prints an [engine] wall-time footer. Same as NURAPID_ENGINE_TRACE.
 #
 # --repeat N (default 3) runs every bench binary N times and records
 # the *median* per-binary wall_ms, taming host noise in the tracked
@@ -46,10 +54,13 @@ while [ $# -gt 0 ]; do
       --no-cache)
         unset NURAPID_RUN_CACHE || true
         no_cache=1; shift ;;
+      --engine-trace-out)
+        NURAPID_ENGINE_TRACE="$2"; export NURAPID_ENGINE_TRACE
+        rm -f "$NURAPID_ENGINE_TRACE"; shift 2 ;;
       --quiet)
         quiet=1; shift ;;
       -h|--help)
-        sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        sed -n '2,41p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
       *)
         build_dir="$1"; shift ;;
     esac

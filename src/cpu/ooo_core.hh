@@ -163,6 +163,12 @@ class OooCore
      * the interval recorder (ticked once per retired reference in
      * runTyped and runDistilled alike; epoch boundaries land on the
      * same record index in both paths). Either may be null.
+     *
+     * Because the tick is per retired reference, each epoch snapshot
+     * samples the organization's cumulative EnergyBreakdown at a
+     * reference boundary — never mid-access — so the per-epoch energy
+     * timeline telescopes exactly to the end-of-run accumulators on
+     * every replay path (live, distilled, gang).
      */
     void
     attachObservability(EventSink *sink, IntervalRecorder *recorder)

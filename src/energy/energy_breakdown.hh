@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-component dynamic-energy accumulator shared by every cache
+ * organization.
+ *
+ * Each organization used to carry a single `EnergyNJ cacheEnergy`
+ * double. The observability timeline needs a Figure-10-style
+ * breakdown (tag probes, per-region data accesses, swaps/promotions,
+ * writeback absorbs), but floating-point addition is not associative,
+ * so the components cannot simply be summed to recreate the old
+ * total. EnergyBreakdown therefore keeps `total_nj` as the *same*
+ * accumulator as before — every charge adds to it in the identical
+ * program order the scalar member saw, so cacheEnergyNJ() stays
+ * bit-identical and every run-cache entry survives the refactor —
+ * while the per-component fields are co-incremented on the side.
+ *
+ * Reconciliation contract: the interval recorder samples these
+ * *cumulative* doubles each epoch, so the final snapshot equals the
+ * end-of-run accumulators bitwise by construction (telescoping);
+ * per-epoch deltas are derived only at render time. Note that the
+ * components need not bitwise-sum to total_nj: two fill sites charge
+ * tag+data energy as one pre-summed add (see chargeTagData), exactly
+ * as the scalar code did.
+ *
+ * Header-only and dependent only on common/ so the organization
+ * libraries (mem/nuca/nurapid) can embed it without linking
+ * nurapid_energy (which itself links cpu+mem).
+ */
+
+#ifndef NURAPID_ENERGY_ENERGY_BREAKDOWN_HH
+#define NURAPID_ENERGY_ENERGY_BREAKDOWN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nurapid {
+
+struct EnergyBreakdown
+{
+    EnergyNJ total_nj = 0;      //!< the pre-existing accumulator
+    EnergyNJ tag_nj = 0;        //!< tag probes / smart-search arrays
+    EnergyNJ swap_nj = 0;       //!< swaps, promotions, demotions, victim pushes
+    EnergyNJ writeback_nj = 0;  //!< L1 writeback absorbs (conventional L2)
+    /** Data-array energy per latency region (same axis as
+     *  regionHits(): d-groups, bank rows, or levels). Sized once at
+     *  construction; charge sites index it unchecked. */
+    std::vector<EnergyNJ> data_nj;
+
+    explicit EnergyBreakdown(std::size_t regions = 0) : data_nj(regions) {}
+
+    void chargeTag(EnergyNJ e)
+    {
+        total_nj += e;
+        tag_nj += e;
+    }
+
+    void chargeData(std::size_t region, EnergyNJ e)
+    {
+        total_nj += e;
+        data_nj[region] += e;
+    }
+
+    void chargeSwap(EnergyNJ e)
+    {
+        total_nj += e;
+        swap_nj += e;
+    }
+
+    void chargeWriteback(EnergyNJ e)
+    {
+        total_nj += e;
+        writeback_nj += e;
+    }
+
+    /**
+     * Fill-path charge of one tag write plus one data write issued as
+     * a single pre-summed add — `total_nj += tag + data` is ONE
+     * double addition, matching the original `cacheEnergy += a + b;`
+     * sites bit-for-bit. Components still see their own shares.
+     */
+    void chargeTagData(EnergyNJ tag, std::size_t region, EnergyNJ data)
+    {
+        total_nj += tag + data;
+        tag_nj += tag;
+        data_nj[region] += data;
+    }
+
+    /** Post-warmup reset; keeps the region count. */
+    void reset()
+    {
+        total_nj = 0;
+        tag_nj = 0;
+        swap_nj = 0;
+        writeback_nj = 0;
+        data_nj.assign(data_nj.size(), 0);
+    }
+};
+
+} // namespace nurapid
+
+#endif // NURAPID_ENERGY_ENERGY_BREAKDOWN_HH

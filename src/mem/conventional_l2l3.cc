@@ -32,10 +32,10 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
         result.hit = true;
         if (obsSink) [[unlikely]]
             obsSink->writeback(now, addr);
-        cacheEnergy += l2Timing.write_nj;
+        cacheEnergy.chargeWriteback(l2Timing.write_nj);
         auto r = l2Cache.access(addr, /*is_write=*/true);
         if (r.evicted && r.evicted_dirty) {
-            cacheEnergy += l3Timing.write_nj;
+            cacheEnergy.chargeSwap(l3Timing.write_nj);
             auto r3 = l3Cache.access(r.evicted_addr, true);
             if (r3.evicted && !l2Cache.contains(r3.evicted_addr)) {
                 // The L3 victim leaves the hierarchy unless a (non-
@@ -56,7 +56,8 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
     ++statAccesses;
     Result result;
 
-    cacheEnergy += is_write ? l2Timing.write_nj : l2Timing.read_nj;
+    cacheEnergy.chargeData(0, is_write ? l2Timing.write_nj
+                                       : l2Timing.read_nj);
     auto r2 = l2Cache.access(addr, is_write);
     // The demand L3 lookup logically precedes the victim writeback: if
     // the victim's allocation below displaces the demanded block from
@@ -69,7 +70,7 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
         l3Cache.contains(addr);
     if (r2.evicted && r2.evicted_dirty) {
         // Non-inclusive hierarchy: L2 victims are allocated into L3.
-        cacheEnergy += l3Timing.write_nj;
+        cacheEnergy.chargeSwap(l3Timing.write_nj);
         auto wb = l3Cache.access(r2.evicted_addr, true);
         if (wb.evicted && !l2Cache.contains(wb.evicted_addr)) {
             recordEviction(result, wb.evicted_addr, wb.evicted_dirty, now);
@@ -89,7 +90,7 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
         return result;
     }
 
-    cacheEnergy += l3Timing.read_nj;
+    cacheEnergy.chargeData(1, l3Timing.read_nj);
     auto r3 = l3Cache.access(addr, is_write);
     if (r3.evicted && !l2Cache.contains(r3.evicted_addr)) {
         recordEviction(result, r3.evicted_addr, r3.evicted_dirty, now);
@@ -125,7 +126,7 @@ ConventionalL2L3::access(Addr addr, AccessType type, Cycle now)
 EnergyNJ
 ConventionalL2L3::dynamicEnergyNJ() const
 {
-    return cacheEnergy + mem.dynamicEnergyNJ();
+    return cacheEnergy.total_nj + mem.dynamicEnergyNJ();
 }
 
 void
@@ -136,7 +137,7 @@ ConventionalL2L3::resetStats()
     l3Cache.stats().resetAll();
     mem.resetStats();
     regionHist.reset();
-    cacheEnergy = 0;
+    cacheEnergy.reset();
 }
 
 } // namespace nurapid

@@ -37,7 +37,11 @@ class ConventionalL2L3 final : public LowerMemory
     Result access(Addr addr, AccessType type, Cycle now) override;
 
     EnergyNJ dynamicEnergyNJ() const override;
-    EnergyNJ cacheEnergyNJ() const override { return cacheEnergy; }
+    EnergyNJ cacheEnergyNJ() const override { return cacheEnergy.total_nj; }
+    const EnergyBreakdown *energyBreakdown() const override
+    {
+        return &cacheEnergy;
+    }
     const std::string &name() const override { return orgName; }
     StatGroup &stats() override { return statGroup; }
     const StatGroup &stats() const override { return statGroup; }
@@ -92,7 +96,9 @@ class ConventionalL2L3 final : public LowerMemory
     MainMemory mem;
     UniformCacheTiming l2Timing;
     UniformCacheTiming l3Timing;
-    EnergyNJ cacheEnergy = 0;
+    /** Regions = levels (0 = L2, 1 = L3); total_nj is the
+     *  pre-refactor accumulator. */
+    EnergyBreakdown cacheEnergy{2};
 
     StatGroup statGroup;
     Counter statAccesses;

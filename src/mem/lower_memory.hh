@@ -19,6 +19,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "energy/energy_breakdown.hh"
 #include "sim/audit/audit.hh"
 #include "sim/obs/obs.hh"
 
@@ -82,6 +83,15 @@ class LowerMemory
     /** On-chip (cache-only) dynamic energy — the paper's "L2 cache
      *  energy" metric excludes DRAM. */
     virtual EnergyNJ cacheEnergyNJ() const = 0;
+
+    /** Per-component view of cacheEnergyNJ() for the observability
+     *  timeline (its total_nj IS the cacheEnergyNJ() accumulator).
+     *  Null for organizations without a breakdown (toy caches, the
+     *  oracle) — the timeline then omits the energy series. */
+    virtual const EnergyBreakdown *energyBreakdown() const
+    {
+        return nullptr;
+    }
 
     /** Organization name for reports. */
     virtual const std::string &name() const = 0;

@@ -170,7 +170,7 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
         // Probe the smart-search array, then walk only the banks whose
         // partial tags matched, closest first, until the real hit.
         ++cnt.ssProbes;
-        cacheEnergy += times.ss_access_nj;
+        cacheEnergy.chargeTag(times.ss_access_nj);
         lookup_lat = times.ss_latency;
         const std::uint32_t hit_row =
             hit_way < p.assoc ? rowOfWay(hit_way) : p.rows;
@@ -178,7 +178,7 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
             if (!rowMatches(r))
                 continue;
             ++cnt.bankDataAccesses;
-            cacheEnergy += times.bank(r, col).access_nj;
+            cacheEnergy.chargeData(r, times.bank(r, col).access_nj);
             const Cycle start = acquireBank(r, col, now + lookup_lat);
             lookup_lat = static_cast<Cycles>(start - now) +
                 times.bank(r, col).latency;
@@ -194,12 +194,12 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
         for (std::uint32_t r = 0; r < p.rows; ++r) {
             ++cnt.bankSearchProbes;
             ++cnt.bankDataAccesses;
-            cacheEnergy += times.bank(r, col).access_nj;
+            cacheEnergy.chargeData(r, times.bank(r, col).access_nj);
             acquireBank(r, col, now);
         }
         if (p.search == DNucaSearch::SsPerformance) {
             ++cnt.ssProbes;
-            cacheEnergy += times.ss_access_nj;
+            cacheEnergy.chargeTag(times.ss_access_nj);
         }
         if (hit_way < p.assoc) {
             const std::uint32_t r = rowOfWay(hit_way);
@@ -249,7 +249,7 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
             ++cnt.promotions;
             cnt.blockMoves += 2;
             cnt.bankDataAccesses += 4;
-            cacheEnergy += times.swapEnergy(r - 1, r, col);
+            cacheEnergy.chargeSwap(times.swapEnergy(r - 1, r, col));
             // Both banks stay occupied while the two blocks are in
             // flight; closely-following accesses to either (e.g. the
             // next sector of a streaming L2 block) must wait — the
@@ -295,7 +295,8 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
         const std::uint64_t way_bit = std::uint64_t{1} << dest_way;
         ++cnt.evictions;
         ++cnt.bankDataAccesses;
-        cacheEnergy += times.bank(p.rows - 1, col).access_nj;
+        cacheEnergy.chargeData(p.rows - 1,
+                               times.bank(p.rows - 1, col).access_nj);
         recordEviction(result,
                        (tagPlane[rowBase(set) + dest_way] * sets + set) *
                            p.block_bytes,
@@ -315,7 +316,7 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
         dirtyBits[set] &= ~dest_bit;
     touch(set, dest_way);
     ++cnt.bankDataAccesses;
-    cacheEnergy += times.bank(dest_row, col).access_nj;
+    cacheEnergy.chargeData(dest_row, times.bank(dest_row, col).access_nj);
 
     const Cycles mem_lat = mem.read(p.block_bytes);
     acquireBank(dest_row, col, now + lookup_lat + mem_lat);
@@ -331,7 +332,7 @@ DNucaCache::access(Addr addr, AccessType type, Cycle now)
 EnergyNJ
 DNucaCache::dynamicEnergyNJ() const
 {
-    return cacheEnergy + mem.dynamicEnergyNJ();
+    return cacheEnergy.total_nj + mem.dynamicEnergyNJ();
 }
 
 void
@@ -417,7 +418,7 @@ DNucaCache::resetStats()
     statGroup.resetAll();
     mem.resetStats();
     regionHist.reset();
-    cacheEnergy = 0;
+    cacheEnergy.reset();
 }
 
 } // namespace nurapid

@@ -67,7 +67,11 @@ class DNucaCache final : public LowerMemory
     Result access(Addr addr, AccessType type, Cycle now) override;
 
     EnergyNJ dynamicEnergyNJ() const override;
-    EnergyNJ cacheEnergyNJ() const override { return cacheEnergy; }
+    EnergyNJ cacheEnergyNJ() const override { return cacheEnergy.total_nj; }
+    const EnergyBreakdown *energyBreakdown() const override
+    {
+        return &cacheEnergy;
+    }
     const std::string &name() const override { return p.name; }
     StatGroup &stats() override { return statGroup; }
     const StatGroup &stats() const override { return statGroup; }
@@ -136,7 +140,8 @@ class DNucaCache final : public LowerMemory
     RankPlane ranks;
     std::vector<Cycle> bankFree;  //!< [row * cols + col]
     MainMemory mem;
-    EnergyNJ cacheEnergy = 0;
+    /** Regions = bank rows; total_nj is the pre-refactor accumulator. */
+    EnergyBreakdown cacheEnergy{p.rows};
     std::uint64_t auditTick = 0;  //!< periodic-audit access counter
 
     StatGroup statGroup;

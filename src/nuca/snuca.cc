@@ -63,7 +63,7 @@ SNucaCache::access(Addr addr, AccessType type, Cycle now)
     cnt.bankWaitCycles += start - now;
     free = start + times.bank_busy;
 
-    cacheEnergy += times.bank(row, col).access_nj;
+    cacheEnergy.chargeData(row, times.bank(row, col).access_nj);
 
     Result result;
     if (obsSink && is_writeback) [[unlikely]]
@@ -90,7 +90,7 @@ SNucaCache::access(Addr addr, AccessType type, Cycle now)
         if (!is_writeback)
             ++cnt.misses;
         const Cycles mem_lat = mem.read(p.block_bytes);
-        cacheEnergy += times.bank(row, col).access_nj;  // fill write
+        cacheEnergy.chargeData(row, times.bank(row, col).access_nj);  // fill write
         result.hit = false;
         // The miss is known once the addressed bank's tags reply.
         result.latency = is_writeback
@@ -105,7 +105,7 @@ SNucaCache::access(Addr addr, AccessType type, Cycle now)
 EnergyNJ
 SNucaCache::dynamicEnergyNJ() const
 {
-    return cacheEnergy + mem.dynamicEnergyNJ();
+    return cacheEnergy.total_nj + mem.dynamicEnergyNJ();
 }
 
 void
@@ -158,7 +158,7 @@ SNucaCache::resetStats()
         b.stats().resetAll();
     mem.resetStats();
     regionHist.reset();
-    cacheEnergy = 0;
+    cacheEnergy.reset();
 }
 
 } // namespace nurapid

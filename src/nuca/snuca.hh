@@ -44,7 +44,11 @@ class SNucaCache final : public LowerMemory
     Result access(Addr addr, AccessType type, Cycle now) override;
 
     EnergyNJ dynamicEnergyNJ() const override;
-    EnergyNJ cacheEnergyNJ() const override { return cacheEnergy; }
+    EnergyNJ cacheEnergyNJ() const override { return cacheEnergy.total_nj; }
+    const EnergyBreakdown *energyBreakdown() const override
+    {
+        return &cacheEnergy;
+    }
     const std::string &name() const override { return p.name; }
     StatGroup &stats() override { return statGroup; }
     const StatGroup &stats() const override { return statGroup; }
@@ -87,7 +91,8 @@ class SNucaCache final : public LowerMemory
     std::vector<SetAssocCache> banks;
     std::vector<Cycle> bankFree;
     MainMemory mem;
-    EnergyNJ cacheEnergy = 0;
+    /** Regions = bank rows; total_nj is the pre-refactor accumulator. */
+    EnergyBreakdown cacheEnergy{p.rows};
 
     StatGroup statGroup;
     /** Counters packed into one cache-line-aligned block so gang lanes

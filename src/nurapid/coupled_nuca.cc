@@ -104,7 +104,7 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
         start = std::max(now, portFree);
     Cycles busy = 0;
 
-    cacheEnergy += times.tag_read_nj;
+    cacheEnergy.chargeTag(times.tag_read_nj);
 
     const std::uint32_t set = static_cast<std::uint32_t>(
         (block >> blockShift) & (sets - 1));
@@ -133,8 +133,8 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
         touch(set, hit_way);
         if (is_write)
             dirtyBits[set] |= std::uint64_t{1} << hit_way;
-        cacheEnergy += is_write ? times.dgroups[g].data_write_nj
-                                : times.dgroups[g].data_read_nj;
+        cacheEnergy.chargeData(g, is_write ? times.dgroups[g].data_write_nj
+                                           : times.dgroups[g].data_read_nj);
         busy = times.port_cycle;
 
         // Promotion is a swap *within the set*: the coupled layout can
@@ -160,7 +160,7 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
             cnt.blockMoves += 2;
             cnt.dgroupAccesses += 4;
             busy += times.swapBusy(g, tgt_group);
-            cacheEnergy += 2.0 * times.swapEnergy(g, tgt_group);
+            cacheEnergy.chargeSwap(2.0 * times.swapEnergy(g, tgt_group));
         }
 
         result.hit = true;
@@ -193,8 +193,9 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
         if ((validBits[set] >> victim) & 1) {
             ++cnt.evictions;
             ++cnt.dgroupAccesses;
-            cacheEnergy +=
-                times.dgroups[groupOfWay(victim)].data_read_nj;
+            cacheEnergy.chargeData(
+                groupOfWay(victim),
+                times.dgroups[groupOfWay(victim)].data_read_nj);
             const bool victim_dirty = (dirtyBits[set] >> victim) & 1;
             recordEviction(result,
                            (tagPlane[row | victim] * sets + set) *
@@ -239,7 +240,7 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
             ++cnt.blockMoves;
             cnt.dgroupAccesses += 2;
             busy += times.swapBusy(g, groupOfWay(hole));
-            cacheEnergy += times.swapEnergy(g, groupOfWay(hole));
+            cacheEnergy.chargeSwap(times.swapEnergy(g, groupOfWay(hole)));
             hole = w;
         }
 
@@ -251,7 +252,8 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
             dirtyBits[set] &= ~(std::uint64_t{1} << hole);
         touch(set, hole);
         ++cnt.dgroupAccesses;
-        cacheEnergy += times.tag_write_nj + times.dgroups[0].data_write_nj;
+        cacheEnergy.chargeTagData(times.tag_write_nj, 0,
+                                  times.dgroups[0].data_write_nj);
         busy += times.port_cycle;
 
         const Cycles mem_lat = mem.read(p.block_bytes);
@@ -274,7 +276,7 @@ CoupledNucaCache::access(Addr addr, AccessType type, Cycle now)
 EnergyNJ
 CoupledNucaCache::dynamicEnergyNJ() const
 {
-    return cacheEnergy + mem.dynamicEnergyNJ();
+    return cacheEnergy.total_nj + mem.dynamicEnergyNJ();
 }
 
 void
@@ -363,7 +365,7 @@ CoupledNucaCache::resetStats()
     statGroup.resetAll();
     mem.resetStats();
     regionHist.reset();
-    cacheEnergy = 0;
+    cacheEnergy.reset();
 }
 
 } // namespace nurapid

@@ -44,7 +44,11 @@ class CoupledNucaCache final : public LowerMemory
     Result access(Addr addr, AccessType type, Cycle now) override;
 
     EnergyNJ dynamicEnergyNJ() const override;
-    EnergyNJ cacheEnergyNJ() const override { return cacheEnergy; }
+    EnergyNJ cacheEnergyNJ() const override { return cacheEnergy.total_nj; }
+    const EnergyBreakdown *energyBreakdown() const override
+    {
+        return &cacheEnergy;
+    }
     const std::string &name() const override { return p.name; }
     StatGroup &stats() override { return statGroup; }
     const StatGroup &stats() const override { return statGroup; }
@@ -106,7 +110,8 @@ class CoupledNucaCache final : public LowerMemory
     RankPlane ranks;
     MainMemory mem;
     Cycle portFree = 0;
-    EnergyNJ cacheEnergy = 0;
+    /** Regions = d-groups; total_nj is the pre-refactor accumulator. */
+    EnergyBreakdown cacheEnergy{p.num_dgroups};
     std::uint64_t auditTick = 0;  //!< periodic-audit access counter
 
     StatGroup statGroup;

@@ -117,7 +117,7 @@ NuRapidCache::ensureFree(std::uint32_t group, std::uint32_t region,
         obsSink->demotion(now, victim_addr, group, group + 1);
     ++cnt.demotions;
     busy += times.swapBusy(group, group + 1);
-    cacheEnergy += times.swapEnergy(group, group + 1);
+    cacheEnergy.chargeSwap(times.swapEnergy(group, group + 1));
     return dataArray.allocFrame(group, region);
 }
 
@@ -146,7 +146,7 @@ NuRapidCache::promote(std::uint32_t set, std::uint32_t way, Cycles &busy,
                                target);
         }
         busy += times.swapBusy(g, target);
-        cacheEnergy += times.swapEnergy(g, target);
+        cacheEnergy.chargeSwap(times.swapEnergy(g, target));
         return;
     }
 
@@ -178,7 +178,7 @@ NuRapidCache::promote(std::uint32_t set, std::uint32_t way, Cycles &busy,
     cnt.blockMoves += 2;
     cnt.dgroupAccesses += 4;  // read + write at both d-groups
     busy += times.swapBusy(g, target);
-    cacheEnergy += 2.0 * times.swapEnergy(g, target);
+    cacheEnergy.chargeSwap(2.0 * times.swapEnergy(g, target));
 }
 
 LowerMemory::Result
@@ -205,7 +205,7 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
     Cycles busy = 0;  // port occupancy accrued by this access
 
     ++cnt.tagProbes;
-    cacheEnergy += times.tag_read_nj;
+    cacheEnergy.chargeTag(times.tag_read_nj);
 
     TagArray::Lookup look;
     {
@@ -227,8 +227,8 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
         if (is_write)
             tagArray.setDirty(look.set, look.way, true);
 
-        cacheEnergy += is_write ? times.dgroups[g].data_write_nj
-                                : times.dgroups[g].data_read_nj;
+        cacheEnergy.chargeData(g, is_write ? times.dgroups[g].data_write_nj
+                                           : times.dgroups[g].data_read_nj);
 
         const Cycles lat = p.ideal_fastest
             ? times.dgroups[0].total_latency
@@ -270,7 +270,7 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
             const std::uint32_t vg = tagArray.groupOf(look.set, way);
             dataArray.remove(vg, tagArray.frameOf(look.set, way));
             ++cnt.dgroupAccesses;  // victim read-out
-            cacheEnergy += times.dgroups[vg].data_read_nj;
+            cacheEnergy.chargeData(vg, times.dgroups[vg].data_read_nj);
         }
 
         // Distance placement: the new block always enters the fastest
@@ -284,8 +284,8 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
         dataArray.place(0, f0, look.set, way);
         tagArray.touch(look.set, way);
 
-        cacheEnergy += times.tag_write_nj +
-            times.dgroups[0].data_write_nj;
+        cacheEnergy.chargeTagData(times.tag_write_nj, 0,
+                                  times.dgroups[0].data_write_nj);
         ++cnt.dgroupAccesses;  // fill write
         busy += times.port_cycle;
 
@@ -336,7 +336,7 @@ NuRapidCache::access(Addr addr, AccessType type, Cycle now)
 EnergyNJ
 NuRapidCache::dynamicEnergyNJ() const
 {
-    return cacheEnergy + mem.dynamicEnergyNJ();
+    return cacheEnergy.total_nj + mem.dynamicEnergyNJ();
 }
 
 void
@@ -345,7 +345,7 @@ NuRapidCache::resetStats()
     statGroup.resetAll();
     mem.resetStats();
     regionHist.reset();
-    cacheEnergy = 0;
+    cacheEnergy.reset();
 }
 
 void

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "sim/org_dispatch.hh"
 #include "sim/profile/profile.hh"
+#include "sim/runner/span_trace.hh"
 
 namespace nurapid {
 
@@ -228,6 +229,10 @@ GangReplayer::runAll(const std::vector<System *> &group)
     const SimLength &len = group.front()->length;
     DistilledTrace::Cursor cur = group.front()->dcur;
     for (const std::vector<System *> &cohort : cohorts) {
+        EngineSpan span("gang-replay",
+                        strprintf("%s x%zu lanes",
+                                  group.front()->prof.name.c_str(),
+                                  cohort.size()));
         std::vector<Lane> lanes;
         lanes.reserve(cohort.size());
         for (System *sys : cohort) {

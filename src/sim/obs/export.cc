@@ -16,6 +16,8 @@ metaHeader(const char *kind, const ObsExportMeta &meta)
     j.set("meta", kind);
     j.set("workload", meta.workload);
     j.set("organization", meta.organization);
+    if (meta.run_cache_bypassed)
+        j.set("run_cache_bypassed", true);
     return j;
 }
 
@@ -75,6 +77,19 @@ intervalSnapshotToJson(const IntervalSnapshot &s)
     j.set("epoch_avg_latency", s.epoch_avg_latency);
     j.set("epoch_lat_p50", static_cast<std::uint64_t>(s.epoch_lat_p50));
     j.set("epoch_lat_p95", static_cast<std::uint64_t>(s.epoch_lat_p95));
+    if (s.has_energy) {
+        Json e = Json::object();
+        e.set("total_nj", s.energy_total_nj);
+        e.set("tag_nj", s.energy_tag_nj);
+        e.set("swap_nj", s.energy_swap_nj);
+        e.set("writeback_nj", s.energy_writeback_nj);
+        Json data = Json::array();
+        for (double d : s.energy_data_nj)
+            data.push(d);
+        e.set("data_nj", std::move(data));
+        e.set("lower_nj", s.energy_lower_nj);
+        j.set("energy", std::move(e));
+    }
     return j;
 }
 
@@ -160,6 +175,31 @@ writePerfettoTrace(const std::string &path, const ObsExportMeta &meta,
         dargs.set("avg_latency", cur.epoch_avg_latency);
         derived.set("args", std::move(dargs));
         events.push(std::move(derived));
+
+        if (cur.has_energy) {
+            // Per-epoch energy deltas by component; the data arrays
+            // are folded into one series for a readable stacked track.
+            Json en = Json::object();
+            en.set("name", "energy (nJ/epoch)");
+            en.set("ph", "C");
+            en.set("ts", cur.cycles);
+            en.set("pid", 1);
+            double data_cur = 0, data_prev = 0;
+            for (double d : cur.energy_data_nj)
+                data_cur += d;
+            for (double d : prev.energy_data_nj)
+                data_prev += d;
+            Json eargs = Json::object();
+            eargs.set("tag", cur.energy_tag_nj - prev.energy_tag_nj);
+            eargs.set("data", data_cur - data_prev);
+            eargs.set("swap", cur.energy_swap_nj - prev.energy_swap_nj);
+            eargs.set("writeback",
+                      cur.energy_writeback_nj - prev.energy_writeback_nj);
+            eargs.set("lower",
+                      cur.energy_lower_nj - prev.energy_lower_nj);
+            en.set("args", std::move(eargs));
+            events.push(std::move(en));
+        }
     }
     Json root = Json::object();
     root.set("displayTimeUnit", "ns");

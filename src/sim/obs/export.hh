@@ -10,19 +10,24 @@
  *                 cycle, kind, addr, latency, from/to region, dirty.
  *
  *  metrics JSONL  line 1: {"meta":"nurapid-metrics", workload, org,
- *                 interval, regions}; then one line per snapshot
+ *                 interval, regions, run_cache_bypassed}; then one
+ *                 line per snapshot
  *                 (epoch 0 is the measurement-start baseline) with
  *                 cumulative refs/cycles/instructions/counters/
- *                 region_hits, instantaneous occupancy, and
- *                 epoch-local latency aggregates. Consumers difference
- *                 adjacent lines for per-epoch deltas; the final line
- *                 equals the end-of-run Stats counters exactly.
+ *                 region_hits, instantaneous occupancy, epoch-local
+ *                 latency aggregates, and (when the organization has
+ *                 an EnergyBreakdown) a cumulative "energy" object
+ *                 with total/tag/swap/writeback/lower plus per-region
+ *                 data nJ. Consumers difference adjacent lines for
+ *                 per-epoch deltas; the final line equals the
+ *                 end-of-run Stats counters and energy totals exactly.
  *
  *  perfetto       a {"traceEvents":[...]} Chrome trace: one "X" slice
  *                 per epoch (microsecond timeline = simulated cycles)
  *                 and "C" counter tracks for per-region occupancy,
- *                 hit share, and average access latency. Load in
- *                 chrome://tracing or ui.perfetto.dev.
+ *                 hit share, average access latency, and per-epoch
+ *                 energy by component. Load in chrome://tracing or
+ *                 ui.perfetto.dev.
  */
 
 #ifndef NURAPID_SIM_OBS_EXPORT_HH
@@ -41,6 +46,10 @@ struct ObsExportMeta
 {
     std::string workload;
     std::string organization;
+    /** Observed runs are always simulated fresh (never served from or
+     *  stored into the run cache); noted in the header so report
+     *  tooling can flag uncacheable runs. */
+    bool run_cache_bypassed = false;
 };
 
 /** One event as a JSONL line value (shared by writer and tests). */

@@ -153,6 +153,19 @@ IntervalRecorder::takeSnapshot()
     }
     if (src.occupancy)
         src.occupancy(s.occupancy);
+    if (src.energy) {
+        // Bitwise copies of the cumulative accumulators — no
+        // re-summation, so the final snapshot equals the end-of-run
+        // totals exactly.
+        s.has_energy = true;
+        s.energy_total_nj = src.energy->total_nj;
+        s.energy_tag_nj = src.energy->tag_nj;
+        s.energy_swap_nj = src.energy->swap_nj;
+        s.energy_writeback_nj = src.energy->writeback_nj;
+        s.energy_data_nj = src.energy->data_nj;
+        if (src.lower_energy)
+            s.energy_lower_nj = src.lower_energy();
+    }
     if (sink) {
         const EventSink::EpochAggregates agg = sink->takeEpochAggregates();
         s.epoch_accesses = agg.accesses;

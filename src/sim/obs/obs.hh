@@ -30,7 +30,14 @@
  *    occupancy), so the timeline too is bit-identical live vs
  *    distilled.
  *
- * Layering: like sim/audit, this header depends only on common/ so
+ *    Snapshots also sample the organization's cumulative
+ *    EnergyBreakdown accumulators (plus off-chip energy), giving the
+ *    Figure-10-style where-does-the-energy-go series; because the
+ *    cumulative doubles are copied bitwise, the final snapshot
+ *    reconciles exactly with the end-of-run energy totals.
+ *
+ * Layering: like sim/audit, this header depends only on common/ and
+ * the header-only energy accumulator (energy/energy_breakdown.hh) so
  * the mem/nuca/nurapid/cpu libraries can include it without an upward
  * link dependency; runtime state lives in the nurapid_obs library.
  */
@@ -47,6 +54,7 @@
 #include "common/histogram.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "energy/energy_breakdown.hh"
 
 namespace nurapid {
 
@@ -219,6 +227,25 @@ struct IntervalSnapshot
     /** Instantaneous valid-block count per region. */
     std::vector<std::uint64_t> occupancy;
 
+    /**
+     * Cumulative dynamic-energy attribution, sampled straight from the
+     * organization's EnergyBreakdown accumulators — doubles copied
+     * bitwise, never re-summed, so the final snapshot reconciles
+     * exactly with the end-of-run EnergyModel totals. Per-epoch
+     * figures are deltas of consecutive snapshots, derived at render
+     * time only. has_energy is false when the organization exposes no
+     * breakdown (the series is then omitted from exports).
+     */
+    bool has_energy = false;
+    double energy_total_nj = 0;      //!< == cacheEnergyNJ() at sample time
+    double energy_tag_nj = 0;
+    double energy_swap_nj = 0;
+    double energy_writeback_nj = 0;
+    std::vector<double> energy_data_nj;  //!< per latency region
+    /** Off-chip energy: dynamicEnergyNJ() - cacheEnergyNJ(), the same
+     *  expression EnergyReport::memory_nj uses. */
+    double energy_lower_nj = 0;
+
     /** Epoch-local (since the previous snapshot). */
     std::uint64_t epoch_accesses = 0;
     std::uint64_t epoch_hits = 0;
@@ -237,6 +264,10 @@ struct IntervalSources
     std::function<std::uint64_t()> cycles;
     std::function<std::uint64_t()> instructions;
     std::function<void(std::vector<std::uint64_t> &)> occupancy;
+    /** Cumulative per-component cache energy; null = no energy series. */
+    const EnergyBreakdown *energy = nullptr;
+    /** Cumulative off-chip (lower-memory) dynamic energy in nJ. */
+    std::function<double()> lower_energy;
 };
 
 /**
@@ -304,6 +335,12 @@ struct ObsConfig
     std::string events_path;    //!< JSONL event dump (--trace-out)
     std::string metrics_path;   //!< JSONL timeline (--metrics-out)
     std::string perfetto_path;  //!< Chrome trace.json (--perfetto-out)
+
+    /** Set by the run engine (not callers): this observed run was
+     *  simulated fresh because observed runs never consult or fill
+     *  the run cache. Exports note it in the JSONL header so
+     *  nurapid_report can flag uncacheable runs. */
+    bool run_cache_bypassed = false;
 
     bool enabled() const { return record_events || record_metrics; }
 

@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "sim/gang.hh"
+#include "sim/runner/span_trace.hh"
 #include "trace/distilled_trace.hh"
 
 namespace nurapid {
@@ -34,8 +35,10 @@ RunEngineOptions::fromEnv()
 RunEngine::RunEngine(const RunEngineOptions &options)
     : opts(options)
 {
-    if (opts.use_cache && !opts.cache_file.empty())
+    if (opts.use_cache && !opts.cache_file.empty()) {
+        EngineSpan span("cache-load", "load " + opts.cache_file);
         memo.loadFile(opts.cache_file);
+    }
 }
 
 unsigned
@@ -102,25 +105,37 @@ RunEngine::runMany(const std::vector<RunRequest> &requests)
     std::map<std::string, std::size_t> first_of_key;
     std::vector<std::pair<std::size_t, std::size_t>> dups;
 
-    for (std::size_t i = 0; i < n; ++i) {
-        if (opts.use_cache && !requests[i].obs.enabled()) {
-            keys[i] = fingerprintRun(requests[i].spec,
-                                     requests[i].profile,
-                                     requests[i].length, opts.gang);
-            if (memo.lookup(keys[i], results[i])) {
-                results[i].from_cache = true;
-                hits.fetch_add(1);
-                atomicAdd(saved, results[i].wall_seconds);
-                continue;
+    {
+        EngineSpan span("cache-probe",
+                        strprintf("probe %zu requests", n));
+        for (std::size_t i = 0; i < n; ++i) {
+            if (opts.use_cache && !requests[i].obs.enabled()) {
+                keys[i] = fingerprintRun(requests[i].spec,
+                                         requests[i].profile,
+                                         requests[i].length, opts.gang);
+                if (memo.lookup(keys[i], results[i])) {
+                    results[i].from_cache = true;
+                    hits.fetch_add(1);
+                    atomicAdd(saved, results[i].wall_seconds);
+                    continue;
+                }
+                auto [it, inserted] =
+                    first_of_key.emplace(keys[i].key, i);
+                if (!inserted) {
+                    dups.emplace_back(i, it->second);
+                    continue;
+                }
+            } else if (opts.use_cache && requests[i].obs.enabled()) {
+                // Observed runs are always simulated fresh: the run
+                // cache stores end-of-run metrics only, not the event
+                // stream or timeline a sink would have recorded.
+                warnOnce("observability enabled: %s / %s bypasses the "
+                         "run cache (observed runs are never memoized)",
+                         requests[i].profile.name.c_str(),
+                         requests[i].spec.description().c_str());
             }
-            auto [it, inserted] =
-                first_of_key.emplace(keys[i].key, i);
-            if (!inserted) {
-                dups.emplace_back(i, it->second);
-                continue;
-            }
+            misses.push_back(i);
         }
-        misses.push_back(i);
     }
 
     if (!misses.empty()) {
@@ -132,10 +147,21 @@ RunEngine::runMany(const std::vector<RunRequest> &requests)
             gangUnits(requests, misses);
 
         auto work = [&](const std::vector<std::size_t> &unit) {
+            // Top-level span over the whole unit, so lane set-up and
+            // metrics finalization around the nested simulate /
+            // gang-replay spans still count toward footer coverage;
+            // its *self* time is exactly that per-unit overhead.
+            EngineSpan wspan(
+                "run-unit",
+                strprintf("%s x%zu",
+                          requests[unit.front()].profile.name.c_str(),
+                          unit.size()));
             if (unit.size() == 1) {
                 const RunRequest &r = requests[unit.front()];
                 System sys(r.spec, r.profile, r.length);
-                sys.enableObservability(r.obs);
+                ObsConfig cfg = r.obs;
+                cfg.run_cache_bypassed = opts.use_cache && cfg.enabled();
+                sys.enableObservability(cfg);
                 results[unit.front()] = sys.runAll();
                 return;
             }
@@ -147,7 +173,9 @@ RunEngine::runMany(const std::vector<RunRequest> &requests)
                 const RunRequest &r = requests[idx];
                 systems.push_back(std::make_unique<System>(
                     r.spec, r.profile, r.length));
-                systems.back()->enableObservability(r.obs);
+                ObsConfig cfg = r.obs;
+                cfg.run_cache_bypassed = opts.use_cache && cfg.enabled();
+                systems.back()->enableObservability(cfg);
                 group.push_back(systems.back().get());
             }
             // Falls back to per-system runAll() when ineligible
@@ -188,6 +216,9 @@ RunEngine::runMany(const std::vector<RunRequest> &requests)
             atomicAdd(simSecs, results[idx].wall_seconds);
 
         if (opts.use_cache) {
+            EngineSpan span("cache-store",
+                            strprintf("store %zu results",
+                                      misses.size()));
             for (std::size_t idx : misses) {
                 if (!requests[idx].obs.enabled())
                     memo.store(keys[idx], results[idx]);

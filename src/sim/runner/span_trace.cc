@@ -1,0 +1,244 @@
+#include "sim/runner/span_trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace nurapid {
+
+namespace {
+
+std::uint64_t
+steadyNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+wallUs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/** The innermost open span of this thread (nesting bookkeeping). */
+thread_local EngineSpan *t_open = nullptr;
+
+/** JSON string escaping for span labels (quotes/backslashes only;
+ *  labels are ASCII workload/org names). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+EngineTrace::EngineTrace()
+{
+    if (const char *p = std::getenv("NURAPID_ENGINE_TRACE")) {
+        if (*p != '\0')
+            enable(p);
+    }
+}
+
+EngineTrace &
+EngineTrace::instance()
+{
+    // Intentionally leaked: the atexit flush registered by enable()
+    // must outlive every static destructor, including this object's
+    // own (a plain function-local static would be destroyed first,
+    // since its destructor registers *after* the ctor-path enable()).
+    static EngineTrace *trace = new EngineTrace;
+    return *trace;
+}
+
+void
+EngineTrace::enable(const std::string &out_path)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (!path.empty())
+            return;  // first activation wins
+        path = out_path;
+        enable_ns = steadyNs();
+    }
+    on.store(true, std::memory_order_relaxed);
+    std::atexit([] { EngineTrace::instance().flush(); });
+}
+
+EngineTrace::ThreadBuf &
+EngineTrace::threadBuf()
+{
+    thread_local std::shared_ptr<ThreadBuf> buf = [this] {
+        auto b = std::make_shared<ThreadBuf>();
+        std::lock_guard<std::mutex> lock(mtx);
+        b->tid = static_cast<int>(buffers.size());
+        buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+void
+EngineTrace::flush()
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mtx);
+
+    // Snapshot all spans (flush runs at exit, workers long joined).
+    struct Flat
+    {
+        const SpanRec *rec;
+        int tid;
+    };
+    std::vector<Flat> all;
+    for (const auto &buf : buffers)
+        for (const SpanRec &rec : buf->spans)
+            all.push_back({&rec, buf->tid});
+    if (all.size() <= flushed)
+        return;
+
+    // --- trace file: Chrome JSON array format, append mode so the 17
+    // bench binaries of one sweep share a single whole-sweep file.
+    const int pid = static_cast<int>(::getpid());
+    std::ofstream os(path, std::ios::app);
+    if (!os) {
+        warn("cannot write engine trace %s", path.c_str());
+    } else {
+        if (os.tellp() == std::streamoff(0)) {
+            os << "[\n";
+        }
+        if (!wrote_header) {
+            os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+               << ",\"args\":{\"name\":\"nurapid engine (pid " << pid
+               << ")\"}},\n";
+            wrote_header = true;
+        }
+        for (const auto &buf : buffers) {
+            os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+               << ",\"tid\":" << buf->tid
+               << ",\"args\":{\"name\":\"worker-" << buf->tid << "\"}},\n";
+        }
+        std::size_t skip = flushed;
+        for (const Flat &f : all) {
+            if (skip) {
+                --skip;
+                continue;
+            }
+            os << "{\"name\":\"" << jsonEscape(f.rec->label)
+               << "\",\"cat\":\"" << f.rec->stage
+               << "\",\"ph\":\"X\",\"ts\":" << f.rec->ts_us
+               << ",\"dur\":" << f.rec->dur_ns / 1000
+               << ",\"pid\":" << pid << ",\"tid\":" << f.tid << "},\n";
+        }
+        os.flush();
+        if (os)
+            std::fprintf(stderr, "[engine] trace appended to %s\n",
+                         path.c_str());
+    }
+    flushed = all.size();
+
+    // --- [engine] footer: per-stage busy (self time, so nested spans
+    // are not double counted) and span coverage of the wall.
+    const std::uint64_t wall_ns = steadyNs() - enable_ns;
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> stages;
+    for (const Flat &f : all) {
+        auto &agg = stages[f.rec->stage];
+        agg.first += f.rec->self_ns;
+        ++agg.second;
+    }
+    std::uint64_t busy_ns = 0;
+    for (const auto &kv : stages)
+        busy_ns += kv.second.first;
+
+    // Coverage: interval union of top-level spans across all threads
+    // (parallel workers overlap; overlapped time counts once).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ivs;
+    for (const Flat &f : all) {
+        if (f.rec->top_level)
+            ivs.emplace_back(f.rec->start_ns,
+                             f.rec->start_ns + f.rec->dur_ns);
+    }
+    std::sort(ivs.begin(), ivs.end());
+    std::uint64_t covered_ns = 0, cur_lo = 0, cur_hi = 0;
+    for (const auto &iv : ivs) {
+        if (cur_hi == 0 || iv.first > cur_hi) {
+            covered_ns += cur_hi - cur_lo;
+            cur_lo = iv.first;
+            cur_hi = std::max(iv.second, iv.first + 1);
+        } else {
+            cur_hi = std::max(cur_hi, iv.second);
+        }
+    }
+    covered_ns += cur_hi - cur_lo;
+    covered_ns = std::min(covered_ns, wall_ns);
+
+    const double wall_s = static_cast<double>(wall_ns) * 1e-9;
+    std::fprintf(stderr,
+                 "[engine] wall %.3f s, span coverage %.3f s (%.1f%%), "
+                 "busy %.3f s across %zu worker threads\n",
+                 wall_s, static_cast<double>(covered_ns) * 1e-9,
+                 wall_ns ? 100.0 * static_cast<double>(covered_ns) /
+                         static_cast<double>(wall_ns)
+                         : 0.0,
+                 static_cast<double>(busy_ns) * 1e-9, buffers.size());
+    for (const auto &kv : stages) {
+        std::fprintf(stderr, "[engine]   %-16s %9.3f s %5.1f%%  (%llu spans)\n",
+                     kv.first.c_str(),
+                     static_cast<double>(kv.second.first) * 1e-9,
+                     busy_ns ? 100.0 *
+                             static_cast<double>(kv.second.first) /
+                             static_cast<double>(busy_ns)
+                             : 0.0,
+                     static_cast<unsigned long long>(kv.second.second));
+    }
+}
+
+EngineSpan::EngineSpan(const char *stage_name, std::string span_label)
+    : active(EngineTrace::instance().enabled())
+{
+    if (!active) [[likely]]
+        return;
+    stage = stage_name;
+    label = std::move(span_label);
+    ts_us = wallUs();
+    start_ns = steadyNs();
+    parent = t_open;
+    t_open = this;
+}
+
+EngineSpan::~EngineSpan()
+{
+    if (!active) [[likely]]
+        return;
+    const std::uint64_t dur_ns = steadyNs() - start_ns;
+    t_open = parent;
+    if (parent)
+        parent->child_ns += dur_ns;
+    EngineTrace::ThreadBuf &buf = EngineTrace::instance().threadBuf();
+    buf.spans.push_back({stage, std::move(label), ts_us, start_ns, dur_ns,
+                         dur_ns > child_ns ? dur_ns - child_ns : 0,
+                         parent == nullptr});
+}
+
+} // namespace nurapid

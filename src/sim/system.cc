@@ -9,6 +9,7 @@
 #include "sim/org_dispatch.hh"
 #include "sim/profile/profile.hh"
 #include "sim/runner/run_engine.hh"
+#include "sim/runner/span_trace.hh"
 #include "timing/geometry.hh"
 #include "trace/profiles.hh"
 
@@ -67,6 +68,7 @@ System::System(const OrgSpec &org, const WorkloadProfile &profile,
       trace(profile)
 {
     if (packedTraceEnabled()) {
+        EngineSpan span("trace-pregen", "pregen " + profile.name);
         packed = sharedPackedTrace(
             profile, length.warmup_records + length.measure_records);
     }
@@ -87,6 +89,7 @@ System::System(const OrgSpec &org, const WorkloadProfile &profile,
         dp.bp_entries = coreModel->branchPredictor().entries();
         dp.bp_history_bits = coreModel->branchPredictor().historyBits();
         dp.mshr_block_bytes = coreModel->params().mshr_block_bytes;
+        EngineSpan span("distill-decode", "distill " + profile.name);
         distilled = sharedDistilledTrace(profile, total, cuts, dp);
         dcur = distilled->cursor();
     }
@@ -122,8 +125,10 @@ System::runRecords(std::uint64_t records)
                  static_cast<unsigned long long>(end));
         distilled.reset();
     }
-    if (consumed + records > packed->size())
+    if (consumed + records > packed->size()) {
+        EngineSpan span("trace-pregen", "extend " + prof.name);
         packed = sharedPackedTrace(prof, consumed + records);
+    }
     NURAPID_PROFILE_SCOPE(Core);
     PackedTrace::Cursor cur =
         packed->cursorRange(consumed, consumed + records);
@@ -159,6 +164,12 @@ System::enableObservability(const ObsConfig &cfg)
         src.instructions = [this] { return coreModel->instructions(); };
         src.occupancy = [this](std::vector<std::uint64_t> &out) {
             lowerMem->regionOccupancy(out);
+        };
+        src.energy = lowerMem->energyBreakdown();
+        // Off-chip share, same expression as EnergyReport::memory_nj
+        // so the timeline reconciles bitwise with computeEnergy().
+        src.lower_energy = [this] {
+            return lowerMem->dynamicEnergyNJ() - lowerMem->cacheEnergyNJ();
         };
         obsRec = std::make_unique<IntervalRecorder>(
             cfg.resolvedInterval(), std::move(src), obsSink.get());
@@ -234,7 +245,8 @@ System::exportObservability(RunMetrics &m)
         return;
     if (obsRec)
         obsRec->finish();
-    const ObsExportMeta meta{prof.name, spec.description()};
+    const ObsExportMeta meta{prof.name, spec.description(),
+                             obsCfg.run_cache_bypassed};
     if (!obsCfg.events_path.empty() &&
         !writeEventsJsonl(obsCfg.events_path, meta, *obsSink)) {
         warn("failed to write event trace %s",
@@ -259,6 +271,7 @@ System::exportObservability(RunMetrics &m)
 RunMetrics
 System::runAll()
 {
+    EngineSpan span("simulate", prof.name + " / " + spec.description());
     const auto start = std::chrono::steady_clock::now();
     warmup();
     measure();

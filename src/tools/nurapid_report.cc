@@ -2,9 +2,11 @@
  * @file
  * Renders the observability exports as terminal reports: ASCII
  * timelines over the interval-metrics JSONL (how IPC, hit share,
- * latency, occupancy and movement evolve across epochs) plus a
- * Figure-4/5-style end-of-run hit-distribution table, and a kind
- * summary over an event-stream JSONL.
+ * latency, occupancy, movement and energy evolve across epochs), a
+ * Figure-4/5-style end-of-run hit-distribution table, a
+ * Figure-10-style energy-breakdown table, and a kind summary over an
+ * event-stream JSONL. Malformed or truncated input files produce a
+ * one-line error and a nonzero exit, never a garbage render.
  *
  * Examples:
  *   nurapid_sim --org nurapid --benchmark mcf \
@@ -120,6 +122,74 @@ counterDeltas(const std::vector<Json> &epochs, const char *name)
     return out;
 }
 
+/**
+ * Structural validation of a parsed timeline before rendering: a
+ * truncated or hand-edited file must produce a one-line error and a
+ * nonzero exit, not out-of-range indexing or garbage series from
+ * unsigned-counter underflow. Returns an empty string when sound.
+ */
+std::string
+validateTimeline(const std::vector<Json> &epochs)
+{
+    std::uint64_t prev_refs = 0, prev_cycles = 0;
+    std::size_t regions = epochs.empty()
+        ? 0
+        : epochs.front().get("region_hits").size();
+    std::size_t occ_regions = epochs.empty()
+        ? 0
+        : epochs.front().get("occupancy").size();
+    for (std::size_t i = 0; i < epochs.size(); ++i) {
+        const Json &e = epochs[i];
+        if (!e.isObject())
+            return strprintf("epoch %zu is not an object", i);
+        for (const char *k :
+             {"refs", "cycles", "instructions", "counters",
+              "region_hits", "occupancy"}) {
+            if (!e.has(k))
+                return strprintf("epoch %zu is missing '%s' "
+                                 "(truncated line?)", i, k);
+        }
+        if (e.get("region_hits").size() != regions)
+            return strprintf("epoch %zu has %zu region_hits entries, "
+                             "epoch 0 has %zu", i,
+                             e.get("region_hits").size(), regions);
+        if (e.get("occupancy").size() != occ_regions)
+            return strprintf("epoch %zu has %zu occupancy entries, "
+                             "epoch 0 has %zu", i,
+                             e.get("occupancy").size(), occ_regions);
+        const std::uint64_t refs = e.get("refs").asUint();
+        const std::uint64_t cycles = e.get("cycles").asUint();
+        if (i > 0 && (refs < prev_refs || cycles < prev_cycles))
+            return strprintf("epoch %zu goes backwards (refs %llu -> "
+                             "%llu, cycles %llu -> %llu)", i,
+                             static_cast<unsigned long long>(prev_refs),
+                             static_cast<unsigned long long>(refs),
+                             static_cast<unsigned long long>(prev_cycles),
+                             static_cast<unsigned long long>(cycles));
+        prev_refs = refs;
+        prev_cycles = cycles;
+    }
+    return "";
+}
+
+/** energy object field of one epoch, 0 when the series is absent. */
+double
+energyOf(const Json &snap, const char *field)
+{
+    return snap.get("energy").get(field).asDouble();
+}
+
+/** Sum of the per-region data_nj array of one epoch. */
+double
+energyDataOf(const Json &snap)
+{
+    const Json &data = snap.get("energy").get("data_nj");
+    double sum = 0;
+    for (std::size_t r = 0; r < data.size(); ++r)
+        sum += data.at(r).asDouble();
+    return sum;
+}
+
 int
 reportMetrics(const std::string &path, std::size_t width)
 {
@@ -142,6 +212,13 @@ reportMetrics(const std::string &path, std::size_t width)
                      path.c_str());
         return 1;
     }
+    const std::string bad = validateTimeline(doc.epochs);
+    if (!bad.empty()) {
+        std::fprintf(stderr,
+                     "nurapid_report: %s is not a sound timeline: %s\n",
+                     path.c_str(), bad.c_str());
+        return 1;
+    }
 
     const Json &last = doc.epochs.back();
     std::printf("%s on %s: %zu epochs of %llu refs "
@@ -155,6 +232,10 @@ reportMetrics(const std::string &path, std::size_t width)
                     last.get("refs").asUint()),
                 static_cast<unsigned long long>(
                     last.get("cycles").asUint()));
+    if (doc.meta.get("run_cache_bypassed").asBool()) {
+        std::printf("note: observed run, simulated fresh (observed "
+                    "runs bypass the run cache)\n");
+    }
 
     // Per-epoch derived series (adjacent-snapshot differences).
     std::vector<double> ipc, hit_share, avg_lat, p95;
@@ -187,6 +268,21 @@ reportMetrics(const std::string &path, std::size_t width)
     if (last.get("counters").has("promotions"))
         printSeries("promotions",
                     counterDeltas(doc.epochs, "promotions"), width, 0);
+
+    // Energy phase behaviour: per-epoch deltas of the cumulative
+    // attribution the recorder sampled from the EnergyBreakdown.
+    if (last.has("energy")) {
+        std::vector<double> cache_nj, lower_nj;
+        for (std::size_t i = 1; i < doc.epochs.size(); ++i) {
+            cache_nj.push_back(energyOf(doc.epochs[i], "total_nj") -
+                               energyOf(doc.epochs[i - 1], "total_nj"));
+            lower_nj.push_back(energyOf(doc.epochs[i], "lower_nj") -
+                               energyOf(doc.epochs[i - 1], "lower_nj"));
+        }
+        std::printf("\nper-epoch energy (nJ):\n");
+        printSeries("L2 cache", cache_nj, width, 0);
+        printSeries("lower memory", lower_nj, width, 0);
+    }
 
     const Json &occ = last.get("occupancy");
     if (occ.isArray() && occ.size() > 0) {
@@ -222,6 +318,34 @@ reportMetrics(const std::string &path, std::size_t width)
            demand ? TextTable::pct(static_cast<double>(misses) / demand)
                   : "-"});
     t.print();
+
+    // Figure 10 style: where the dynamic energy went, end of run.
+    if (last.has("energy")) {
+        const Json &data = last.get("energy").get("data_nj");
+        const double tag = energyOf(last, "tag_nj");
+        const double swap = energyOf(last, "swap_nj");
+        const double wb = energyOf(last, "writeback_nj");
+        const double cache = energyOf(last, "total_nj");
+        const double lower = energyOf(last, "lower_nj");
+        const double total = cache + lower;
+        std::printf("\nenergy breakdown (end of run):\n");
+        TextTable e;
+        e.header({"component", "nJ", "share"});
+        auto erow = [&](const std::string &name, double nj) {
+            if (nj <= 0)
+                return;
+            e.row({name, TextTable::num(nj, 0),
+                   total > 0 ? TextTable::pct(nj / total) : "-"});
+        };
+        erow("tag probes", tag);
+        for (std::size_t r = 0; r < data.size(); ++r)
+            erow(strprintf("data region %zu", r), data.at(r).asDouble());
+        erow("swaps/promotions", swap);
+        erow("writeback absorbs", wb);
+        erow("L2 cache total", cache);
+        erow("lower memory", lower);
+        e.print();
+    }
     return 0;
 }
 

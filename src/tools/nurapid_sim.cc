@@ -31,6 +31,7 @@
 #include "sim/gang.hh"
 #include "sim/runner/run_cache.hh"
 #include "sim/runner/run_engine.hh"
+#include "sim/runner/span_trace.hh"
 #include "sim/system.hh"
 #include "trace/profiles.hh"
 
@@ -85,6 +86,13 @@ usage(const char *argv0)
         "  --obs-interval N       references per observability epoch\n"
         "                         (default: NURAPID_OBS_INTERVAL or "
         "65536)\n"
+        "  --engine-trace-out F   record host-time engine spans (trace\n"
+        "                         pregen, distill decode, gang replay,\n"
+        "                         run-cache probe/store, per-config\n"
+        "                         simulate) into a Chrome trace at F\n"
+        "                         (one track per worker thread) and\n"
+        "                         print an [engine] wall-time footer;\n"
+        "                         same as NURAPID_ENGINE_TRACE\n"
         "\n"
         "With --suite, observability paths get a per-workload suffix\n"
         "(events.jsonl -> events.applu.jsonl). Observed runs bypass the\n"
@@ -118,7 +126,10 @@ usage(const char *argv0)
         "  NURAPID_OBS_INTERVAL    references per observability epoch\n"
         "                          (default 65536)\n"
         "  NURAPID_OBS_EVENT_CAP   flight-recorder ring capacity;\n"
-        "                          0/unset = unbounded\n",
+        "                          0/unset = unbounded\n"
+        "  NURAPID_ENGINE_TRACE    engine span trace output path\n"
+        "                          (appended, so one sweep's processes\n"
+        "                          share a single whole-sweep trace)\n",
         argv0);
 }
 
@@ -364,6 +375,12 @@ main(int argc, char **argv)
             obs_interval = parseUint("--obs-interval",
                                      value("--obs-interval"), 1,
                                      std::uint64_t{1} << 40);
+        } else if (arg == "--engine-trace-out") {
+            const std::string f = value("--engine-trace-out");
+            // Forward through the env so child-visible config stays
+            // consistent with the NURAPID_ENGINE_TRACE spelling.
+            setenv("NURAPID_ENGINE_TRACE", f.c_str(), 1);
+            EngineTrace::instance().enable(f);
         } else {
             usage(argv[0]);
             fatal("unknown option '%s'", arg.c_str());

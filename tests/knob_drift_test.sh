@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# The NURAPID_* environment-knob list must not drift between the two
+# places it is documented: the README knob table and the env section
+# of `nurapid_sim --help`. A knob added to one but not the other fails
+# this test. Run by ctest as
+#   knob_drift_test.sh SIM_BINARY README_PATH
+set -eu
+
+sim="$1"
+readme="$2"
+
+# --help env section: knobs lead their line after two spaces.
+help_knobs=$("$sim" --help | grep -o '^  NURAPID_[A-Z_]*' |
+    tr -d ' ' | sort -u)
+
+# README table: knob rows look like  | `NURAPID_FOO` | ... |
+readme_knobs=$(grep -o '^| `NURAPID_[A-Z_]*`' "$readme" |
+    grep -o 'NURAPID_[A-Z_]*' | sort -u)
+
+[ -n "$help_knobs" ] || { echo "FAIL: no knobs in --help"; exit 1; }
+[ -n "$readme_knobs" ] || { echo "FAIL: no knobs in README"; exit 1; }
+
+if [ "$help_knobs" != "$readme_knobs" ]; then
+    echo "FAIL: knob lists drifted between --help and README"
+    echo "--help only:"
+    printf '%s\n' "$help_knobs" | grep -vxF "$readme_knobs" || true
+    echo "README only:"
+    printf '%s\n' "$readme_knobs" | grep -vxF "$help_knobs" || true
+    exit 1
+fi
+
+echo "knob_drift_test: $(printf '%s\n' "$help_knobs" | wc -l)" \
+     "knobs documented identically in --help and README"

@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# nurapid_report must fail loudly — one-line error, nonzero exit — on
+# missing, empty, corrupt and truncated timeline files, and must still
+# accept a genuine timeline produced by nurapid_sim. Run by ctest as
+#   report_cli_test.sh SIM_BINARY REPORT_BINARY SCRATCH_DIR
+set -eu
+
+sim="$1"
+report="$2"
+dir="$3"
+mkdir -p "$dir"
+
+fails=0
+expect_reject() {
+    what="$1"; shift
+    if out=$("$report" "$@" 2>&1); then
+        echo "FAIL: $what: accepted (exit 0): $out"
+        fails=$((fails + 1))
+    elif ! printf '%s' "$out" | grep -q "nurapid_report:"; then
+        echo "FAIL: $what: rejected without a clean error: $out"
+        fails=$((fails + 1))
+    else
+        echo "ok: $what -> ${out%%
+*}"
+    fi
+}
+
+# A real timeline to corrupt (short run; bypasses the run cache).
+good="$dir/good_metrics.jsonl"
+NURAPID_RUN_CACHE= "$sim" --benchmark twolf --org nurapid --scale 0.02 \
+    --obs-interval 1024 --metrics-out "$good" > /dev/null
+[ -s "$good" ] || { echo "FAIL: nurapid_sim wrote no timeline"; exit 1; }
+"$report" "$good" > /dev/null || {
+    echo "FAIL: genuine timeline rejected"; exit 1; }
+echo "ok: genuine timeline accepted"
+
+expect_reject "missing file" "$dir/does_not_exist.jsonl"
+
+: > "$dir/empty.jsonl"
+expect_reject "empty file" "$dir/empty.jsonl"
+
+printf 'this is not json\n' > "$dir/garbage.jsonl"
+expect_reject "garbage line" "$dir/garbage.jsonl"
+
+printf '{"meta":"something-else"}\n' > "$dir/wrong_meta.jsonl"
+expect_reject "wrong meta kind" "$dir/wrong_meta.jsonl"
+
+# Header only — no completed epochs to render.
+head -n 1 "$good" > "$dir/no_epochs.jsonl"
+expect_reject "header without epochs" "$dir/no_epochs.jsonl"
+
+# Truncated mid-epoch: drop the final line's closing braces, leaving
+# an unparseable tail (a crash or partial copy).
+lines=$(wc -l < "$good")
+head -n $((lines - 1)) "$good" > "$dir/truncated.jsonl"
+tail -n 1 "$good" | cut -c1-40 >> "$dir/truncated.jsonl"
+expect_reject "truncated final epoch" "$dir/truncated.jsonl"
+
+# Structurally broken epoch: a snapshot missing its occupancy array
+# (would out-of-range index the renderer).
+head -n 2 "$good" > "$dir/missing_field.jsonl"
+printf '{"refs":999999,"cycles":9,"instructions":9,"counters":{},"region_hits":[]}\n' \
+    >> "$dir/missing_field.jsonl"
+expect_reject "epoch missing fields" "$dir/missing_field.jsonl"
+
+# Non-monotone cumulative counters: re-append an early epoch at the
+# end, so refs decrease (unsigned deltas would underflow to garbage).
+cp "$good" "$dir/nonmonotone.jsonl"
+sed -n '2p' "$good" >> "$dir/nonmonotone.jsonl"
+expect_reject "non-monotone refs" "$dir/nonmonotone.jsonl"
+
+[ "$fails" -eq 0 ] || exit 1
+echo "report_cli_test: all rejections clean"
